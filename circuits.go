@@ -1,0 +1,104 @@
+package parsim
+
+import (
+	"io"
+
+	"parsim/internal/gen"
+	"parsim/internal/netlist"
+	"parsim/internal/trace"
+)
+
+// The paper's benchmark circuits, re-exported so applications and
+// benchmarks can reproduce the evaluation workloads.
+
+// InverterArrayConfig parameterises BenchInverterArray.
+type InverterArrayConfig = gen.InverterArrayConfig
+
+// MultiplierConfig parameterises the two multiplier representations.
+type MultiplierConfig = gen.MultiplierConfig
+
+// CPUConfig parameterises the microprocessor benchmark.
+type CPUConfig = gen.CPUConfig
+
+// ISS is the microprocessor's reference instruction-set simulator.
+type ISS = gen.ISS
+
+var (
+	// BenchInverterArray builds the paper's 32x16 control circuit (or any
+	// other geometry): independent inverter chains whose toggle rate sets
+	// the number of events per time step.
+	BenchInverterArray = gen.InverterArray
+	// DefaultInverterArray is the paper's 32x16 configuration.
+	DefaultInverterArray = gen.DefaultInverterArray
+	// BenchGateMultiplier builds the 16-bit multiplier at the gate level
+	// (thousands of two-input gates).
+	BenchGateMultiplier = gen.GateMultiplier
+	// BenchFuncMultiplier builds the same multiplier at the functional
+	// level (~100 elements: 3-bit multipliers, adders and glue).
+	BenchFuncMultiplier = gen.FuncMultiplier
+	// DefaultMultiplier is the paper's 16-bit configuration.
+	DefaultMultiplier = gen.DefaultMultiplier
+	// BenchCPU builds the pipelined microprocessor from gates plus ROM/RAM.
+	BenchCPU = gen.CPU
+	// DefaultCPU is the demo-program configuration.
+	DefaultCPU = gen.DefaultCPU
+	// DefaultCPUProgram is the demo program (sum, Fibonacci, memory test).
+	DefaultCPUProgram = gen.DefaultCPUProgram
+	// CPUHorizon converts pipeline cycles to a simulation horizon.
+	CPUHorizon = gen.CPUHorizon
+	// CPURegValue reads an architectural register out of final node values.
+	CPURegValue = gen.CPURegValue
+	// NewISS builds the reference instruction-set simulator.
+	NewISS = gen.NewISS
+	// BenchFeedbackChain builds the asynchronous algorithm's worst case: a
+	// loadable ring of inverters (length must be odd).
+	BenchFeedbackChain = gen.FeedbackChain
+	// RandomCircuit builds a pseudo-random sequential circuit for
+	// differential testing.
+	RandomCircuit = gen.RandomCircuit
+	// RandomUnitCircuit is RandomCircuit with all delays forced to 1.
+	RandomUnitCircuit = gen.RandomUnitCircuit
+)
+
+// Microprocessor instruction assemblers.
+var (
+	// AsmNOP assembles a no-operation.
+	AsmNOP = gen.NOP
+	// AsmLI assembles rd = zext(imm8).
+	AsmLI = gen.LI
+	// AsmADD assembles rd = rs + rt.
+	AsmADD = gen.ADD
+	// AsmSUB assembles rd = rs - rt.
+	AsmSUB = gen.SUB
+	// AsmAND assembles rd = rs & rt.
+	AsmAND = gen.AND
+	// AsmOR assembles rd = rs | rt.
+	AsmOR = gen.OR
+	// AsmXOR assembles rd = rs ^ rt.
+	AsmXOR = gen.XOR
+	// AsmADDI assembles rd = rs + zext(imm4).
+	AsmADDI = gen.ADDI
+	// AsmBNEZ assembles a conditional branch with one delay slot.
+	AsmBNEZ = gen.BNEZ
+	// AsmJMP assembles an absolute jump with one delay slot.
+	AsmJMP = gen.JMP
+	// AsmLW assembles rd = MEM[rs].
+	AsmLW = gen.LW
+	// AsmSW assembles MEM[rs] = rt.
+	AsmSW = gen.SW
+)
+
+// ReadNetlist parses a circuit from the textual netlist format.
+func ReadNetlist(r io.Reader) (*Circuit, error) { return netlist.Read(r) }
+
+// WriteNetlist serialises a circuit to the textual netlist format.
+func WriteNetlist(w io.Writer, c *Circuit) error { return netlist.Write(w, c) }
+
+// NetlistSummary formats a human-readable report about a circuit.
+func NetlistSummary(c *Circuit) string { return netlist.Summary(c) }
+
+// WriteVCD dumps recorded waveforms as a Value Change Dump for external
+// viewers. If no nodes are listed, every recorded node is written.
+func WriteVCD(w io.Writer, c *Circuit, r *Recorder, horizon Time, nodes ...NodeID) error {
+	return trace.WriteVCD(w, c, r, horizon, nodes...)
+}

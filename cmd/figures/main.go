@@ -1,0 +1,62 @@
+// Command figures regenerates the paper's evaluation: every figure (1-5)
+// and every quantitative text claim (t1-t4). See EXPERIMENTS.md for the
+// experiment index.
+//
+// Usage:
+//
+//	figures                 # every experiment on the virtual 16-CPU model
+//	figures -fig fig5       # one experiment
+//	figures -mode real      # measure the actual parallel simulators
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parsim"
+)
+
+func main() {
+	var (
+		figID = flag.String("fig", "all", "experiment id: fig1..fig5, t1..t4, or all")
+		mode  = flag.String("mode", "model", "model (virtual 16-CPU machine) or real (goroutines)")
+		maxP  = flag.Int("maxp", 0, "highest processor count (default: 16 model, NumCPU real)")
+		quick = flag.Bool("quick", false, "smaller horizons for a fast pass")
+		chart = flag.Bool("chart", true, "render ASCII charts alongside the tables")
+	)
+	flag.Parse()
+
+	var m parsim.ExperimentMode
+	switch *mode {
+	case "model":
+		m = parsim.ModelMode
+	case "real":
+		m = parsim.RealMode
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	cfg := parsim.DefaultExperimentConfig(m)
+	cfg.Quick = *quick
+	if *maxP > 0 {
+		cfg.MaxP = *maxP
+	}
+
+	ids := parsim.ExperimentIDs()
+	if *figID != "all" {
+		ids = strings.Split(*figID, ",")
+	}
+	for _, id := range ids {
+		f, err := parsim.Experiment(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(f.Format())
+		if *chart {
+			fmt.Println(f.Chart(72, 18))
+		}
+	}
+}

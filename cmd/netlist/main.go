@@ -1,0 +1,78 @@
+// Command netlist inspects and generates circuit netlists.
+//
+// Usage:
+//
+//	netlist -stats design.net            # summarise a netlist
+//	netlist -gen mult16-gate -o m.net    # write a benchmark circuit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parsim"
+)
+
+func main() {
+	var (
+		statsPath = flag.String("stats", "", "netlist file to summarise")
+		genName   = flag.String("gen", "", "benchmark circuit to generate: inverter-array, mult16-gate, mult16-func, microprocessor, feedback-chain, random")
+		out       = flag.String("o", "", "output file (default stdout)")
+		seed      = flag.Int64("seed", 1, "seed for -gen random")
+		size      = flag.Int("size", 100, "size for -gen random")
+	)
+	flag.Parse()
+
+	switch {
+	case *statsPath != "":
+		f, err := os.Open(*statsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		c, err := parsim.ReadNetlist(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(parsim.NetlistSummary(c))
+	case *genName != "":
+		var c *parsim.Circuit
+		switch *genName {
+		case "inverter-array":
+			c = parsim.BenchInverterArray(parsim.DefaultInverterArray())
+		case "mult16-gate":
+			c = parsim.BenchGateMultiplier(parsim.DefaultMultiplier())
+		case "mult16-func":
+			c = parsim.BenchFuncMultiplier(parsim.DefaultMultiplier())
+		case "microprocessor":
+			c = parsim.BenchCPU(parsim.DefaultCPU())
+		case "feedback-chain":
+			c = parsim.BenchFeedbackChain(31)
+		case "random":
+			c = parsim.RandomCircuit(*seed, *size)
+		default:
+			fatal(fmt.Errorf("unknown benchmark %q", *genName))
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := parsim.WriteNetlist(w, c); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "netlist: need -stats or -gen (see -help)")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netlist:", err)
+	os.Exit(1)
+}

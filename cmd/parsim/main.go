@@ -1,0 +1,152 @@
+// Command parsim simulates a netlist with any of the four algorithms.
+//
+// Usage:
+//
+//	parsim -netlist adder.net -alg async -workers 4 -horizon 10000 \
+//	       -watch sum,carry -vcd out.vcd
+//
+// The built-in benchmark circuits are available without a netlist file via
+// -bench (inverter-array, mult16-gate, mult16-func, microprocessor,
+// feedback-chain).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"parsim"
+)
+
+func main() {
+	var (
+		netlistPath = flag.String("netlist", "", "netlist file to simulate")
+		benchName   = flag.String("bench", "", "built-in benchmark circuit: inverter-array, mult16-gate, mult16-func, microprocessor, feedback-chain")
+		algName     = flag.String("alg", "async", "algorithm: seq, event, compiled, async, dist, timewarp, cm")
+		workers     = flag.Int("workers", runtime.NumCPU(), "parallel workers")
+		horizon     = flag.Int64("horizon", 1000, "simulation horizon in ticks")
+		watch       = flag.String("watch", "", "comma-separated node names to trace")
+		vcdPath     = flag.String("vcd", "", "write watched-node waveforms to this VCD file")
+		noSteal     = flag.Bool("no-steal", false, "event-driven: disable work stealing")
+		central     = flag.Bool("central", false, "event-driven: use the contended central queue")
+		spin        = flag.Int64("spin", 0, "synthetic work multiplier per evaluation")
+		summary     = flag.Bool("summary", false, "print circuit statistics before simulating")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*netlistPath, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+	if *summary {
+		fmt.Print(parsim.NetlistSummary(c))
+	}
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := parsim.Options{
+		Algorithm:    alg,
+		Workers:      *workers,
+		Horizon:      parsim.Time(*horizon),
+		CostSpin:     *spin,
+		NoSteal:      *noSteal,
+		CentralQueue: *central,
+	}
+	if alg == parsim.Sequential {
+		opts.Workers = 1
+	}
+
+	var rec *parsim.Recorder
+	var watched []parsim.NodeID
+	if *watch != "" {
+		for _, name := range strings.Split(*watch, ",") {
+			n := c.FindNode(strings.TrimSpace(name))
+			if n == nil {
+				fatal(fmt.Errorf("no node named %q", name))
+			}
+			watched = append(watched, n.ID)
+		}
+		rec = parsim.NewRecorderFor(watched...)
+		opts.Probe = rec
+	}
+
+	res, err := parsim.Simulate(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Stats.String())
+
+	for _, n := range watched {
+		fmt.Printf("%s: final=%v, %d changes\n",
+			c.Nodes[n].Name, res.Final[n], len(rec.History(n)))
+	}
+	if *vcdPath != "" && rec != nil {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := parsim.WriteVCD(f, c, rec, opts.Horizon, watched...); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *vcdPath)
+	}
+}
+
+func loadCircuit(path, bench string) (*parsim.Circuit, error) {
+	switch {
+	case path != "" && bench != "":
+		return nil, fmt.Errorf("give either -netlist or -bench, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parsim.ReadNetlist(f)
+	case bench != "":
+		switch bench {
+		case "inverter-array":
+			return parsim.BenchInverterArray(parsim.DefaultInverterArray()), nil
+		case "mult16-gate":
+			return parsim.BenchGateMultiplier(parsim.DefaultMultiplier()), nil
+		case "mult16-func":
+			return parsim.BenchFuncMultiplier(parsim.DefaultMultiplier()), nil
+		case "microprocessor":
+			return parsim.BenchCPU(parsim.DefaultCPU()), nil
+		case "feedback-chain":
+			return parsim.BenchFeedbackChain(31), nil
+		}
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
+	}
+	return nil, fmt.Errorf("need -netlist or -bench")
+}
+
+func parseAlg(s string) (parsim.Algorithm, error) {
+	switch s {
+	case "seq", "sequential":
+		return parsim.Sequential, nil
+	case "event", "event-driven":
+		return parsim.EventDriven, nil
+	case "compiled":
+		return parsim.Compiled, nil
+	case "async", "asynchronous":
+		return parsim.Async, nil
+	case "dist", "distributed":
+		return parsim.DistAsync, nil
+	case "timewarp", "tw", "optimistic":
+		return parsim.TimeWarp, nil
+	case "cm", "chandy-misra":
+		return parsim.ChandyMisra, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want seq, event, compiled, async, dist, timewarp or cm)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parsim:", err)
+	os.Exit(1)
+}

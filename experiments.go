@@ -1,0 +1,38 @@
+package parsim
+
+import "parsim/internal/harness"
+
+// Experiment support: regenerate any figure or table from the paper's
+// evaluation. See EXPERIMENTS.md for the full index.
+
+// ExperimentMode selects how an experiment executes: on the deterministic
+// virtual 16-processor machine model, or on real goroutines with wall-clock
+// timing.
+type ExperimentMode = harness.Mode
+
+// Experiment execution modes.
+const (
+	// ModelMode replays algorithm schedules on a deterministic virtual
+	// multiprocessor, reproducing the paper's full 1-16 processor curves on
+	// any host.
+	ModelMode = harness.Model
+	// RealMode times the actual parallel simulators; curves are bounded by
+	// the host's core count.
+	RealMode = harness.Real
+)
+
+// ExperimentConfig parameterises experiment generation.
+type ExperimentConfig = harness.Config
+
+// Figure is one regenerated experiment: labelled series plus notes
+// comparing against the paper's reported numbers.
+type Figure = harness.Figure
+
+var (
+	// ExperimentIDs lists every experiment: fig1..fig5 and t1..t4.
+	ExperimentIDs = harness.IDs
+	// DefaultExperimentConfig returns the standard configuration.
+	DefaultExperimentConfig = harness.DefaultConfig
+	// Experiment regenerates one figure or table by ID.
+	Experiment = harness.Generate
+)

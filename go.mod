@@ -1,0 +1,3 @@
+module parsim
+
+go 1.22

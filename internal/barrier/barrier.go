@@ -1,0 +1,46 @@
+// Package barrier implements the sense-reversing spin barrier that
+// synchronises the synchronous simulators at the end of every phase — the
+// cost the paper's asynchronous algorithm exists to eliminate.
+package barrier
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier synchronises a fixed set of workers. Each worker must carry its
+// own Sense and pass it to every Wait call.
+type Barrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Int32
+}
+
+// Sense is a worker-local barrier phase flag; its zero value is ready for
+// the first Wait.
+type Sense struct{ v int32 }
+
+// New returns a barrier for n workers.
+func New(n int) *Barrier {
+	if n < 1 {
+		panic("barrier: need at least one worker")
+	}
+	return &Barrier{n: int32(n)}
+}
+
+// Wait blocks until all n workers have called Wait with their own Sense.
+// The last worker to arrive releases the rest; waiting workers spin,
+// yielding to the scheduler so oversubscribed configurations make progress.
+func (b *Barrier) Wait(s *Sense) {
+	s.v ^= 1
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(s.v)
+		return
+	}
+	for i := 0; b.sense.Load() != s.v; i++ {
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package circuit
+
+import "sync/atomic"
+
+var spinSink atomic.Uint64
+
+// Spin burns roughly n units of CPU work. The paper's functional models were
+// interpreted routines costing 1-100 inverter-evaluations each; native Go
+// evaluation flattens that ratio, so benchmarks that study load balancing
+// re-introduce it by spinning each element's Cost. Correctness tests leave
+// it off.
+func Spin(n int64) {
+	var x uint64 = uint64(n) + 0x9e3779b97f4a7c15
+	for i := int64(0); i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSink.Add(x)
+}

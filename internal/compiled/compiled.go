@@ -1,0 +1,215 @@
+// Package compiled implements the paper's second algorithm: the parallel
+// unit-delay compiled-mode simulator. Every element is evaluated at every
+// time step from a static partition, with one barrier per step. The "problem
+// size" per step is maximal and load-balancing is easy for homogeneous gate
+// circuits — at the price of wasted work whenever element activity is low,
+// which is exactly the trade-off the paper's Figure 3 explores.
+package compiled
+
+import (
+	"sync"
+	"time"
+
+	"parsim/internal/barrier"
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+	"parsim/internal/partition"
+	"parsim/internal/stats"
+	"parsim/internal/trace"
+)
+
+// Options configures a run.
+type Options struct {
+	Workers  int          // parallel workers; >= 1
+	Horizon  circuit.Time // simulate unit-delay steps t in [0, Horizon)
+	Probe    trace.Probe  // optional observer; must be concurrency-safe
+	CostSpin int64        // if > 0, burn CostSpin x element Cost per evaluation
+	Strategy partition.Strategy
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Run   stats.Run
+	Final []logic.Value
+}
+
+// UnitDelay reports whether every element in c has delay 1, the assumption
+// under which compiled-mode histories match the event-driven simulators.
+func UnitDelay(c *circuit.Circuit) bool {
+	for i := range c.Elems {
+		if c.Elems[i].Delay != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+type sim struct {
+	c    *circuit.Circuit
+	opts Options
+	p    int
+
+	buf   [2][]logic.Value // double-buffered node values
+	state [][]logic.Value
+	parts [][]circuit.ElemID
+	bar   *barrier.Barrier
+
+	updates []int64
+	evals   []int64
+	idle    []time.Duration
+}
+
+// Run simulates the circuit in compiled mode and returns statistics and the
+// node values after the final step.
+func Run(c *circuit.Circuit, opts Options) *Result {
+	if opts.Workers < 1 {
+		panic("compiled: need at least one worker")
+	}
+	p := opts.Workers
+	s := &sim{
+		c:       c,
+		opts:    opts,
+		p:       p,
+		parts:   partition.Split(c, p, opts.Strategy),
+		bar:     barrier.New(p),
+		updates: make([]int64, p),
+		evals:   make([]int64, p),
+		idle:    make([]time.Duration, p),
+	}
+	for side := range s.buf {
+		s.buf[side] = make([]logic.Value, len(c.Nodes))
+	}
+	for i := range c.Nodes {
+		x := logic.AllX(c.Nodes[i].Width)
+		s.buf[0][i] = x
+		s.buf[1][i] = x
+	}
+	s.state = make([][]logic.Value, len(c.Elems))
+	for i := range c.Elems {
+		if n := c.Elems[i].NumStateVals(); n > 0 {
+			s.state[i] = make([]logic.Value, n)
+			c.Elems[i].InitState(s.state[i])
+		}
+	}
+	// Generators assume their t=0 values before the first step.
+	for _, g := range c.Generators() {
+		el := &c.Elems[g]
+		v := el.GenValueAt(0)
+		n := el.Out[0]
+		if !v.Equal(s.buf[0][n]) {
+			s.buf[0][n] = v
+			s.buf[1][n] = v // both sides start consistent
+			if opts.Probe != nil {
+				opts.Probe.OnChange(n, 0, v)
+			}
+			s.updates[0]++
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	final := s.buf[int(opts.Horizon-1)&1]
+	if opts.Horizon <= 0 {
+		final = s.buf[0]
+	}
+	res := &Result{Final: final}
+	res.Run = stats.Run{
+		Algorithm: "compiled-mode(" + opts.Strategy.String() + ")",
+		Circuit:   c.Name,
+		Horizon:   opts.Horizon,
+		Workers:   p,
+		TimeSteps: int64(opts.Horizon),
+		Wall:      wall,
+		Busy:      make([]time.Duration, p),
+	}
+	for w := 0; w < p; w++ {
+		res.Run.NodeUpdates += s.updates[w]
+		res.Run.Evals += s.evals[w]
+		res.Run.ModelCalls += s.evals[w]
+		busy := wall - s.idle[w]
+		if busy < 0 {
+			busy = 0
+		}
+		res.Run.Busy[w] = busy
+	}
+	return res
+}
+
+func (s *sim) worker(id int) {
+	var sense barrier.Sense
+	var idle time.Duration
+	defer func() { s.idle[id] = idle }()
+
+	part := s.parts[id]
+	var gens []circuit.ElemID
+	for i, g := range s.c.Generators() {
+		if i%s.p == id {
+			gens = append(gens, g)
+		}
+	}
+	inBuf := make([]logic.Value, 8)
+	outBuf := make([]logic.Value, 4)
+
+	// Step t computes node values for t+1: read side t&1, write side
+	// (t+1)&1. The final step is Horizon-2 -> values at Horizon-1.
+	for t := circuit.Time(0); t < s.opts.Horizon-1; t++ {
+		cur := s.buf[t&1]
+		next := s.buf[(t+1)&1]
+
+		for _, g := range gens {
+			el := &s.c.Elems[g]
+			s.write(id, el.Out[0], t+1, el.GenValueAt(t+1), cur, next)
+		}
+		for _, eid := range part {
+			el := &s.c.Elems[eid]
+			s.evals[id]++
+			if cap(inBuf) < len(el.In) {
+				inBuf = make([]logic.Value, len(el.In))
+			}
+			in := inBuf[:len(el.In)]
+			for i, n := range el.In {
+				in[i] = cur[n]
+			}
+			if cap(outBuf) < len(el.Out) {
+				outBuf = make([]logic.Value, len(el.Out))
+			}
+			out := outBuf[:len(el.Out)]
+			el.Eval(in, s.state[eid], out)
+			if s.opts.CostSpin > 0 {
+				circuit.Spin(el.Cost * s.opts.CostSpin)
+			}
+			for p, n := range el.Out {
+				s.write(id, n, t+1, out[p], cur, next)
+			}
+		}
+
+		t0 := time.Now()
+		s.bar.Wait(&sense)
+		idle += time.Since(t0)
+	}
+}
+
+// write stores a node's next value, recording a change when it differs from
+// the current one. Only the node's single driver (or generator owner) calls
+// this for a given node, so the slots race with nobody.
+func (s *sim) write(id int, n circuit.NodeID, t circuit.Time, v logic.Value,
+	cur, next []logic.Value) {
+	next[n] = v
+	if v.Equal(cur[n]) {
+		return
+	}
+	s.updates[id]++
+	if s.opts.Probe != nil {
+		s.opts.Probe.OnChange(n, t, v)
+	}
+}

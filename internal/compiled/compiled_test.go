@@ -1,0 +1,103 @@
+package compiled
+
+import (
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/gen"
+	"parsim/internal/partition"
+	"parsim/internal/seq"
+	"parsim/internal/trace"
+)
+
+// crossCheck compares compiled-mode output against the sequential oracle on
+// a unit-delay circuit.
+func crossCheck(t *testing.T, c *circuit.Circuit, horizon circuit.Time, opts Options) *Result {
+	t.Helper()
+	if !UnitDelay(c) {
+		t.Fatalf("%s is not unit-delay; cross-check invalid", c.Name)
+	}
+	ref := trace.NewRecorder()
+	seqRes := seq.Run(c, seq.Options{Horizon: horizon, Probe: ref})
+
+	got := trace.NewRecorder()
+	opts.Horizon = horizon
+	opts.Probe = got
+	res := Run(c, opts)
+
+	if d := trace.Diff(c, ref, got); d != "" {
+		t.Fatalf("%s (P=%d): history mismatch: %s", c.Name, opts.Workers, d)
+	}
+	if res.Run.NodeUpdates != seqRes.Run.NodeUpdates {
+		t.Errorf("node updates %d != sequential %d", res.Run.NodeUpdates, seqRes.Run.NodeUpdates)
+	}
+	for i := range res.Final {
+		if !res.Final[i].Equal(seqRes.Final[i]) {
+			t.Errorf("final value of node %s differs: %v vs %v",
+				c.Nodes[i].Name, res.Final[i], seqRes.Final[i])
+		}
+	}
+	return res
+}
+
+func TestMatchesSequentialOnArray(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 8, Cols: 8, ActiveRows: 5, TogglePeriod: 3})
+	for _, p := range []int{1, 2, 4} {
+		crossCheck(t, c, 200, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnGateMultiplier(t *testing.T) {
+	cfg := gen.DefaultMultiplier()
+	cfg.N = 8
+	cfg.InPeriod = 128
+	c := gen.GateMultiplier(cfg)
+	crossCheck(t, c, 384, Options{Workers: 4})
+}
+
+func TestMatchesSequentialOnRandomUnitCircuits(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := gen.RandomUnitCircuit(seed, 70)
+		crossCheck(t, c, 200, Options{Workers: 3})
+	}
+}
+
+func TestAllPartitionStrategies(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 6, Cols: 6, ActiveRows: 6, TogglePeriod: 1})
+	for _, st := range []partition.Strategy{partition.RoundRobin, partition.Blocks, partition.CostLPT} {
+		crossCheck(t, c, 150, Options{Workers: 4, Strategy: st})
+	}
+}
+
+func TestEvalsCountEveryElementEveryStep(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 4, Cols: 4, ActiveRows: 1, TogglePeriod: 8})
+	const horizon = 100
+	res := Run(c, Options{Workers: 2, Horizon: horizon})
+	wantEvals := int64(horizon-1) * int64(c.NumGates())
+	if res.Run.Evals != wantEvals {
+		t.Errorf("evals = %d, want %d (compiled mode evaluates everything)", res.Run.Evals, wantEvals)
+	}
+	// Activity is low, so updates must be far below evals: the wasted work
+	// the paper warns about.
+	if res.Run.NodeUpdates*4 > res.Run.Evals {
+		t.Errorf("updates %d not small vs evals %d", res.Run.NodeUpdates, res.Run.Evals)
+	}
+}
+
+func TestUnitDelayDetector(t *testing.T) {
+	if !UnitDelay(gen.InverterArray(gen.DefaultInverterArray())) {
+		t.Error("inverter array must be unit-delay")
+	}
+	if UnitDelay(gen.CPU(gen.DefaultCPU())) {
+		t.Error("CPU has ROM/RAM delay 2; not unit-delay")
+	}
+}
+
+func TestBadWorkerCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Workers=0 did not panic")
+		}
+	}()
+	Run(gen.FeedbackChain(3), Options{Workers: 0, Horizon: 10})
+}

@@ -1,0 +1,666 @@
+// Package core implements the paper's primary contribution: the
+// asynchronous ("semi-chaotic") parallel logic simulation algorithm.
+//
+// Unlike the synchronous simulators, there are no locks and no barriers:
+// "the processors never have to wait for any of the other processors". The
+// unit of work is an element, not a time step. Each node carries its entire
+// event history (an append-only list of value changes) together with a
+// monotonically increasing valid-time: the simulated time up to which the
+// node's behaviour is fully known. Evaluating an element consumes every
+// pending input event below the minimum input valid-time — often many
+// events in one activation, which is where the algorithm's "very large
+// problem size" comes from — appends the resulting output changes, advances
+// the outputs' valid-times, and stimulates the fan-out.
+//
+// Because valid-times advance incrementally even when no events are
+// produced, the Chandy-Misra deadlock ("no more elements have events on all
+// their inputs") never forms, and because only known-valid events are ever
+// consumed there are no Time-Warp rollbacks and no state-restoration
+// storage. Work distribution uses the paper's n-by-n single-reader,
+// single-writer FIFO matrix with round-robin placement; element activation
+// is deduplicated by a lock-free per-element state machine
+// (idle/queued/running/dirty). Storage for consumed events is reclaimed
+// asynchronously: history chunks become unreachable as soon as every
+// fan-out cursor has passed them, which hands the paper's asynchronous
+// garbage collection to the Go runtime.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+	"parsim/internal/spsc"
+	"parsim/internal/stats"
+	"parsim/internal/trace"
+)
+
+// Options configures a run.
+type Options struct {
+	Workers  int          // parallel workers (processors); >= 1
+	Horizon  circuit.Time // simulate t in [0, Horizon)
+	Probe    trace.Probe  // optional observer; must be concurrency-safe
+	CostSpin int64        // if > 0, burn CostSpin x element Cost per evaluation
+	// NoLookahead disables clocked-element lookahead (ablation): without
+	// it, valid-times creep around register feedback loops an element
+	// delay at a time and evaluation counts explode on circuits like the
+	// microprocessor.
+	NoLookahead bool
+	// GateLookahead enables the paper's controlling-value optimisation:
+	// while any input of an AND/NAND (OR/NOR) gate holds 0 (1), the output
+	// is pinned, events on the other inputs are consumed without
+	// evaluation, and the output's valid-time extends to the point where
+	// the last controlling input could change.
+	GateLookahead bool
+	// DeadlockRecovery switches to the Chandy-Misra discipline the paper
+	// contrasts itself with: valid-times do NOT advance during execution,
+	// so the simulation runs until "no more elements have events on all
+	// their inputs" (deadlock), then a global clock-value update advances
+	// every node's valid-time to the fixpoint and the simulation restarts.
+	// Results are identical; Result.Rounds counts the deadlocks broken.
+	DeadlockRecovery bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Run   stats.Run
+	Final []logic.Value
+	// Rounds counts deadlock-recovery rounds (DeadlockRecovery mode only;
+	// 1 means the run never deadlocked).
+	Rounds int64
+}
+
+// Element activation states.
+const (
+	stIdle int32 = iota
+	stQueued
+	stRunning
+	stDirty
+)
+
+const chunkSz = 64
+
+// event is one node value change.
+type event struct {
+	t circuit.Time
+	v logic.Value
+}
+
+// hchunk is a block of a node's append-only history. Chunks link forward
+// only, so once every consumer cursor has moved past a chunk nothing
+// references it and it is collected — the asynchronous "garbage collection"
+// of consumed events.
+type hchunk struct {
+	base  int64 // history index of slots[0]
+	slots [chunkSz]event
+	next  atomic.Pointer[hchunk]
+}
+
+// history is one node's behaviour over time. The writer side (tail, last,
+// finalVal) is only ever touched while holding the driving element in the
+// running state, which serialises writers across activations; readers go
+// through the atomics.
+type history struct {
+	count   atomic.Int64 // published events
+	validTo atomic.Int64 // behaviour known for all t < validTo
+	tail    *hchunk      // writer-only
+	last    logic.Value  // last appended-or-dropped value (dedup), writer-only
+	final   logic.Value  // last value applied before the horizon, writer-only
+}
+
+// cursor tracks one (element, input port) consumer position.
+type cursor struct {
+	pos   int64
+	chunk *hchunk
+	val   logic.Value // input value at the current position
+}
+
+type sim struct {
+	c    *circuit.Circuit
+	opts Options
+	p    int
+
+	hist    []history
+	first   []*hchunk  // first chunk of every node, for cursor initialisation
+	cursors [][]cursor // [elem][port]
+	estate  []atomic.Int32
+	state   [][]logic.Value
+
+	queues  [][]*spsc.Queue[circuit.ElemID] // [target][source]
+	pending atomic.Int64
+
+	evals      []int64
+	modelCalls []int64
+	updates    []int64
+	eventsUsed []int64
+	idle       []time.Duration
+}
+
+// Run simulates the circuit with opts.Workers lock-free workers.
+func Run(c *circuit.Circuit, opts Options) *Result {
+	if opts.Workers < 1 {
+		panic("core: need at least one worker")
+	}
+	p := opts.Workers
+	s := &sim{
+		c:          c,
+		opts:       opts,
+		p:          p,
+		hist:       make([]history, len(c.Nodes)),
+		first:      make([]*hchunk, len(c.Nodes)),
+		cursors:    make([][]cursor, len(c.Elems)),
+		estate:     make([]atomic.Int32, len(c.Elems)),
+		state:      make([][]logic.Value, len(c.Elems)),
+		queues:     make([][]*spsc.Queue[circuit.ElemID], p),
+		evals:      make([]int64, p),
+		modelCalls: make([]int64, p),
+		updates:    make([]int64, p),
+		eventsUsed: make([]int64, p),
+		idle:       make([]time.Duration, p),
+	}
+	for i := range c.Nodes {
+		ch := &hchunk{}
+		s.first[i] = ch
+		h := &s.hist[i]
+		h.tail = ch
+		x := logic.AllX(c.Nodes[i].Width)
+		h.last = x
+		h.final = x
+	}
+	for i := range c.Elems {
+		el := &c.Elems[i]
+		if n := el.NumStateVals(); n > 0 {
+			s.state[i] = make([]logic.Value, n)
+			el.InitState(s.state[i])
+		}
+		cs := make([]cursor, len(el.In))
+		for port, n := range el.In {
+			cs[port] = cursor{
+				chunk: s.first[n],
+				val:   logic.AllX(c.Nodes[n].Width),
+			}
+		}
+		s.cursors[i] = cs
+	}
+	for w := 0; w < p; w++ {
+		s.queues[w] = make([]*spsc.Queue[circuit.ElemID], p)
+		for src := 0; src < p; src++ {
+			s.queues[w][src] = spsc.New[circuit.ElemID]()
+		}
+	}
+
+	// Initialisation per the paper: "evaluate all generator and constant
+	// nodes for all time", then stimulate their fan-outs. This runs before
+	// any worker starts, so plain pushes into the queue matrix are safe.
+	rr := 0
+	for _, g := range c.Generators() {
+		el := &c.Elems[g]
+		n := el.Out[0]
+		h := &s.hist[n]
+		var t circuit.Time
+		for t < opts.Horizon {
+			v := el.GenValueAt(t)
+			if !v.Equal(h.last) {
+				s.appendEvent(0, n, t, v)
+			}
+			next, ok := el.GenNextChange(t)
+			if !ok {
+				break
+			}
+			t = next
+		}
+		h.validTo.Store(int64(opts.Horizon))
+		for _, pr := range c.Nodes[n].Fanout {
+			if s.estate[pr.Elem].CompareAndSwap(stIdle, stQueued) {
+				s.pending.Add(1)
+				s.queues[rr%p][0].Push(pr.Elem)
+				rr++
+			}
+		}
+	}
+
+	start := time.Now()
+	rounds := int64(0)
+	for {
+		rounds++
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				newWorker(s, w).run()
+			}(w)
+		}
+		wg.Wait()
+		if !s.opts.DeadlockRecovery || !s.recoverDeadlock() {
+			break
+		}
+	}
+	wall := time.Since(start)
+
+	final := make([]logic.Value, len(c.Nodes))
+	for i := range final {
+		final[i] = s.hist[i].final
+	}
+	res := &Result{Final: final, Rounds: rounds}
+	res.Run = stats.Run{
+		Algorithm: "asynchronous",
+		Circuit:   c.Name,
+		Horizon:   opts.Horizon,
+		Workers:   p,
+		Wall:      wall,
+		Busy:      make([]time.Duration, p),
+	}
+	for w := 0; w < p; w++ {
+		res.Run.NodeUpdates += s.updates[w]
+		res.Run.Evals += s.evals[w]
+		res.Run.ModelCalls += s.modelCalls[w]
+		res.Run.EventsUsed += s.eventsUsed[w]
+		busy := wall - s.idle[w]
+		if busy < 0 {
+			busy = 0
+		}
+		res.Run.Busy[w] = busy
+	}
+	return res
+}
+
+// appendEvent publishes one value change on node n at time t. Caller must
+// hold the node's writer side (driving element running, or pre-start).
+func (s *sim) appendEvent(worker int, n circuit.NodeID, t circuit.Time, v logic.Value) {
+	h := &s.hist[n]
+	h.last = v
+	if t >= s.opts.Horizon {
+		return // beyond the simulated window; dedup state still updated
+	}
+	h.final = v
+	c := h.tail
+	idx := h.count.Load()
+	off := idx - c.base
+	if off == chunkSz {
+		nc := &hchunk{base: idx}
+		c.next.Store(nc)
+		h.tail = nc
+		c, off = nc, 0
+	}
+	c.slots[off] = event{t: t, v: v}
+	h.count.Store(idx + 1) // publish after the slot write
+	s.updates[worker]++
+	if s.opts.Probe != nil {
+		s.opts.Probe.OnChange(n, t, v)
+	}
+}
+
+type worker struct {
+	s        *sim
+	id       int
+	rr       int // round-robin activation target
+	inBuf    []logic.Value
+	outBuf   []logic.Value
+	countBuf []int64
+	vtBuf    []int64
+	appBuf   []bool
+	idle     time.Duration
+}
+
+func newWorker(s *sim, id int) *worker {
+	return &worker{s: s, id: id, rr: id}
+}
+
+func (w *worker) run() {
+	s := w.s
+	defer func() { s.idle[w.id] = w.idle }()
+	for {
+		t0 := time.Now()
+		found := false
+		for src := 0; src < s.p; src++ {
+			if e, ok := s.queues[w.id][src].Pop(); ok {
+				found = true
+				w.process(e)
+			}
+		}
+		if found {
+			continue
+		}
+		if s.pending.Load() == 0 {
+			return
+		}
+		// Out of local work while others still run: this is the only spin
+		// in the algorithm, and it is starvation, not synchronisation.
+		runtime.Gosched()
+		w.idle += time.Since(t0)
+	}
+}
+
+// activate stimulates an element: schedule it if idle, mark it dirty if it
+// is currently being evaluated so it re-runs, and do nothing if it is
+// already waiting. This is the paper's "activate the elements only once".
+func (w *worker) activate(e circuit.ElemID) {
+	s := w.s
+	st := &s.estate[e]
+	for {
+		switch st.Load() {
+		case stIdle:
+			if st.CompareAndSwap(stIdle, stQueued) {
+				s.pending.Add(1)
+				tgt := w.rr % s.p
+				w.rr++
+				s.queues[tgt][w.id].Push(e)
+				return
+			}
+		case stQueued, stDirty:
+			return
+		case stRunning:
+			if st.CompareAndSwap(stRunning, stDirty) {
+				return
+			}
+		}
+	}
+}
+
+// process owns the element from queued until it settles back to idle,
+// re-evaluating as long as concurrent activations mark it dirty.
+func (w *worker) process(e circuit.ElemID) {
+	st := &w.s.estate[e]
+	if !st.CompareAndSwap(stQueued, stRunning) {
+		panic("core: popped element not in queued state")
+	}
+	for {
+		w.evalElement(e)
+		if st.CompareAndSwap(stRunning, stIdle) {
+			w.s.pending.Add(-1)
+			return
+		}
+		// Dirty: new input behaviour arrived while running.
+		if !st.CompareAndSwap(stDirty, stRunning) {
+			panic("core: unexpected element state during re-run")
+		}
+	}
+}
+
+// peek returns the next unconsumed event on one input cursor, bounded by
+// the already-loaded published count.
+func (cu *cursor) peek(count int64) (event, bool) {
+	if cu.pos >= count {
+		return event{}, false
+	}
+	for cu.pos >= cu.chunk.base+chunkSz {
+		cu.chunk = cu.chunk.next.Load()
+	}
+	return cu.chunk.slots[cu.pos-cu.chunk.base], true
+}
+
+// evalElement implements the paper's "get the output behaviour of an
+// element" procedure: consume every input event below min-valid in merged
+// time order, evaluating once per distinct time, then advance the outputs'
+// valid times and stimulate fan-outs that gained behaviour.
+func (w *worker) evalElement(e circuit.ElemID) {
+	s := w.s
+	el := &s.c.Elems[e]
+	s.evals[w.id]++
+	cs := s.cursors[e]
+
+	// Step 1-2: min-valid across inputs; load published counts once so the
+	// view is consistent (events published after this point wait for the
+	// next activation).
+	minValid := int64(s.opts.Horizon)
+	if cap(w.countBuf) < len(cs) {
+		w.countBuf = make([]int64, len(cs))
+		w.vtBuf = make([]int64, len(cs))
+	}
+	counts := w.countBuf[:len(cs)]
+	vts := w.vtBuf[:len(cs)]
+	for port, n := range el.In {
+		h := &s.hist[n]
+		vt := h.validTo.Load()
+		if vt > int64(s.opts.Horizon) {
+			vt = int64(s.opts.Horizon)
+		}
+		vts[port] = vt
+		if vt < minValid {
+			minValid = vt
+		}
+		counts[port] = h.count.Load()
+	}
+
+	if cap(w.inBuf) < len(cs) {
+		w.inBuf = make([]logic.Value, len(cs))
+	}
+	in := w.inBuf[:len(cs)]
+	if cap(w.outBuf) < len(el.Out) {
+		w.outBuf = make([]logic.Value, len(el.Out))
+	}
+	out := w.outBuf[:len(el.Out)]
+
+	if cap(w.appBuf) < len(el.Out) {
+		w.appBuf = make([]bool, len(el.Out))
+	}
+	// Controlling-value lookahead for gates (optional), before any events
+	// are consumed: if inputs holding the controlling value pin the output,
+	// it cannot change before the last of them can — events on the other
+	// inputs below that bound are consumed without invoking the model,
+	// exactly as the paper's AND-gate example describes.
+	effValid := minValid
+	if s.opts.GateLookahead {
+		if ctrl, ok := circuit.ControllingValue(el.Kind); ok {
+			tau := int64(-1)
+			for port := range cs {
+				if !circuit.Controlled(cs[port].val, ctrl) {
+					continue
+				}
+				var tb int64
+				if ev, ok2 := cs[port].peek(counts[port]); ok2 {
+					tb = int64(ev.t)
+				} else {
+					tb = vts[port]
+				}
+				if tb > tau {
+					tau = tb
+				}
+			}
+			if tau > effValid {
+				// Skip-consume everything that provably cannot matter.
+				for port := range cs {
+					limit := tau
+					if vts[port] < limit {
+						limit = vts[port]
+					}
+					for {
+						ev, ok2 := cs[port].peek(counts[port])
+						if !ok2 || int64(ev.t) >= limit {
+							break
+						}
+						cs[port].val = ev.v
+						cs[port].pos++
+						s.eventsUsed[w.id]++
+					}
+				}
+				effValid = tau
+			}
+		}
+	}
+
+	appended := w.appBuf[:len(el.Out)]
+	for i := range appended {
+		appended[i] = false
+	}
+	// Step 4: consume events before min-valid in merged time order.
+	for {
+		tmin := circuit.Time(-1)
+		for port := range cs {
+			if ev, ok := cs[port].peek(counts[port]); ok && ev.t < circuit.Time(minValid) {
+				if tmin < 0 || ev.t < tmin {
+					tmin = ev.t
+				}
+			}
+		}
+		if tmin < 0 {
+			break
+		}
+		for port := range cs {
+			if ev, ok := cs[port].peek(counts[port]); ok && ev.t == tmin {
+				cs[port].val = ev.v
+				cs[port].pos++
+				s.eventsUsed[w.id]++
+			}
+			in[port] = cs[port].val
+		}
+		el.Eval(in, s.state[e], out)
+		s.modelCalls[w.id]++
+		if s.opts.CostSpin > 0 {
+			circuit.Spin(el.Cost * s.opts.CostSpin)
+		}
+		for p, n := range el.Out {
+			h := &s.hist[n]
+			if out[p].Equal(h.last) {
+				continue
+			}
+			s.appendEvent(w.id, n, tmin+el.Delay, out[p])
+			appended[p] = true
+		}
+	}
+
+	// Lookahead for clocked elements: the output cannot change until the
+	// next event on a trigger input (e.g. the next clock event for a DFF),
+	// so the output's validity extends to that point even while the data
+	// inputs lag. Every event below minValid was consumed above, so a
+	// pending trigger event — or, when none is queued, the trigger node's
+	// valid-time — bounds the first possible output change.
+	if trig := circuit.TriggerPorts(el.Kind); trig != nil && !s.opts.NoLookahead {
+		bound := int64(s.opts.Horizon)
+		for _, port := range trig {
+			var tb int64
+			if ev, ok := cs[port].peek(counts[port]); ok {
+				tb = int64(ev.t)
+			} else {
+				tb = vts[port]
+			}
+			if tb < bound {
+				bound = tb
+			}
+		}
+		if bound > effValid {
+			effValid = bound
+		}
+	}
+
+	// Step 5: advance output valid times; stimulate fan-out wherever new
+	// behaviour (events or valid-time progress) appeared. Under the
+	// Chandy-Misra discipline the valid-times stay frozen: consumers block
+	// on them until the global deadlock-recovery pass.
+	for p, n := range el.Out {
+		h := &s.hist[n]
+		advanced := false
+		if !s.opts.DeadlockRecovery {
+			newValid := effValid + int64(el.Delay)
+			if newValid > int64(s.opts.Horizon) {
+				newValid = int64(s.opts.Horizon)
+			}
+			if newValid > h.validTo.Load() {
+				h.validTo.Store(newValid)
+				advanced = true
+			}
+		}
+		if advanced || appended[p] {
+			for _, pr := range s.c.Nodes[n].Fanout {
+				w.activate(pr.Elem)
+			}
+		}
+	}
+}
+
+// recoverDeadlock is the Chandy-Misra "update the clock-values and restart"
+// step, run single-threaded between rounds while every worker is stopped.
+// Each node's valid-time advances to the fixpoint of
+//
+//	validTo(out) = min over inputs of min(validTo(in), first unevaluated
+//	               event time on in) + delay
+//
+// (an output is only materialised up to the driver's first unconsumed input
+// event), and every element that gained consumable events is re-queued.
+// It reports whether a new round is worth running.
+func (s *sim) recoverDeadlock() bool {
+	firstPending := func(e circuit.ElemID, port int, n circuit.NodeID) int64 {
+		h := &s.hist[n]
+		cu := &s.cursors[e][port]
+		if ev, ok := cu.peek(h.count.Load()); ok {
+			return int64(ev.t)
+		}
+		return int64(s.opts.Horizon) + 1
+	}
+	changed := true
+	anyAdvance := false
+	for changed {
+		changed = false
+		for i := range s.c.Elems {
+			el := &s.c.Elems[i]
+			if el.IsGenerator() {
+				continue
+			}
+			bound := int64(s.opts.Horizon)
+			for port, n := range el.In {
+				b := s.hist[n].validTo.Load()
+				if fp := firstPending(el.ID, port, n); fp < b {
+					b = fp
+				}
+				if b < bound {
+					bound = b
+				}
+			}
+			newValid := bound + int64(el.Delay)
+			if newValid > int64(s.opts.Horizon) {
+				newValid = int64(s.opts.Horizon)
+			}
+			for _, n := range el.Out {
+				h := &s.hist[n]
+				if newValid > h.validTo.Load() {
+					h.validTo.Store(newValid)
+					changed = true
+					anyAdvance = true
+				}
+			}
+		}
+	}
+	if !anyAdvance {
+		return false
+	}
+	// Restart: queue every element that now has a consumable event or a
+	// fresher input horizon than its outputs reflect.
+	queued := false
+	rr := 0
+	for i := range s.c.Elems {
+		el := &s.c.Elems[i]
+		if el.IsGenerator() {
+			continue
+		}
+		minValid := int64(s.opts.Horizon)
+		for _, n := range el.In {
+			if vt := s.hist[n].validTo.Load(); vt < minValid {
+				minValid = vt
+			}
+		}
+		runnable := false
+		for port, n := range el.In {
+			if fp := firstPending(el.ID, port, n); fp < minValid {
+				runnable = true
+				_ = port
+				break
+			}
+		}
+		if !runnable {
+			// Pure valid-time propagation through this element was already
+			// handled by the fixpoint above.
+			continue
+		}
+		if s.estate[el.ID].CompareAndSwap(stIdle, stQueued) {
+			s.pending.Add(1)
+			s.queues[rr%s.p][0].Push(el.ID)
+			rr++
+			queued = true
+		}
+	}
+	return queued
+}

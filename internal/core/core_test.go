@@ -1,0 +1,304 @@
+package core
+
+import (
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/gen"
+	"parsim/internal/logic"
+	"parsim/internal/seq"
+	"parsim/internal/trace"
+)
+
+// crossCheck runs the circuit under the sequential oracle and the
+// asynchronous simulator, requiring identical node histories — the
+// strongest available evidence that chaotic evaluation order preserves
+// simulation semantics.
+func crossCheck(t *testing.T, c *circuit.Circuit, horizon circuit.Time, opts Options) *Result {
+	t.Helper()
+	ref := trace.NewRecorder()
+	seqRes := seq.Run(c, seq.Options{Horizon: horizon, Probe: ref})
+
+	got := trace.NewRecorder()
+	opts.Horizon = horizon
+	opts.Probe = got
+	res := Run(c, opts)
+
+	if d := trace.Diff(c, ref, got); d != "" {
+		t.Fatalf("%s (P=%d): history mismatch: %s", c.Name, opts.Workers, d)
+	}
+	if res.Run.NodeUpdates != seqRes.Run.NodeUpdates {
+		t.Errorf("node updates %d != sequential %d", res.Run.NodeUpdates, seqRes.Run.NodeUpdates)
+	}
+	for i := range res.Final {
+		if !res.Final[i].Equal(seqRes.Final[i]) {
+			t.Errorf("final value of node %s differs: %v vs %v",
+				c.Nodes[i].Name, res.Final[i], seqRes.Final[i])
+		}
+	}
+	return res
+}
+
+func TestMatchesSequentialOnArray(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 8, Cols: 8, ActiveRows: 6, TogglePeriod: 2})
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		crossCheck(t, c, 300, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnFuncMultiplier(t *testing.T) {
+	cfg := gen.DefaultMultiplier()
+	cfg.InPeriod = 64
+	c := gen.FuncMultiplier(cfg)
+	for _, p := range []int{1, 2, 4} {
+		crossCheck(t, c, 512, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnGateMultiplier(t *testing.T) {
+	cfg := gen.DefaultMultiplier()
+	cfg.N = 8
+	cfg.InPeriod = 128
+	c := gen.GateMultiplier(cfg)
+	crossCheck(t, c, 512, Options{Workers: 4})
+}
+
+func TestMatchesSequentialOnCPU(t *testing.T) {
+	cfg := gen.DefaultCPU()
+	c := gen.CPU(cfg)
+	res := crossCheck(t, c, gen.CPUHorizon(cfg, 40), Options{Workers: 4})
+	if res.Run.Evals == 0 {
+		t.Error("no evaluations")
+	}
+}
+
+func TestMatchesSequentialOnFeedbackChain(t *testing.T) {
+	// The worst case: a long feedback loop forces one-event-at-a-time
+	// progress around the ring, yet results must stay exact.
+	for _, p := range []int{1, 4} {
+		c := gen.FeedbackChain(13)
+		crossCheck(t, c, 600, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		c := gen.RandomCircuit(seed, 80)
+		crossCheck(t, c, 250, Options{Workers: 3})
+	}
+}
+
+func TestBatchedEventConsumption(t *testing.T) {
+	// On a feed-forward circuit with generator inputs valid for all time,
+	// elements near the source should consume many events per evaluation:
+	// the paper's "very large problem size". Events-used per eval must
+	// comfortably exceed 1 on the inverter array.
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 4, Cols: 8, ActiveRows: 4, TogglePeriod: 1})
+	res := Run(c, Options{Workers: 1, Horizon: 1000})
+	perEval := float64(res.Run.EventsUsed) / float64(res.Run.Evals)
+	if perEval < 5 {
+		t.Errorf("events per evaluation = %.2f; batching is not happening", perEval)
+	}
+}
+
+func TestFeedbackSerialisesEvaluation(t *testing.T) {
+	// In the feedback ring, events can only be produced one at a time, so
+	// events-per-eval should sit near 1 — the contrast the paper draws in
+	// section 4.1.
+	c := gen.FeedbackChain(15)
+	res := Run(c, Options{Workers: 1, Horizon: 2000})
+	perEval := float64(res.Run.EventsUsed) / float64(res.Run.Evals)
+	if perEval > 2 {
+		t.Errorf("events per evaluation = %.2f; expected near-serial progress", perEval)
+	}
+}
+
+func TestDeterministicHistories(t *testing.T) {
+	c := gen.RandomCircuit(11, 100)
+	r1 := trace.NewRecorder()
+	Run(c, Options{Workers: 4, Horizon: 300, Probe: r1})
+	r2 := trace.NewRecorder()
+	Run(c, Options{Workers: 4, Horizon: 300, Probe: r2})
+	if d := trace.Diff(c, r1, r2); d != "" {
+		t.Fatalf("two runs differ: %s", d)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	c := gen.InverterArray(gen.DefaultInverterArray())
+	res := Run(c, Options{Workers: 2, Horizon: 400})
+	u := res.Run.Utilization()
+	if u <= 0 || u > 1.0001 {
+		t.Errorf("utilisation %f out of (0,1]", u)
+	}
+}
+
+func TestBadWorkerCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Workers=0 did not panic")
+		}
+	}()
+	Run(gen.FeedbackChain(3), Options{Workers: 0, Horizon: 10})
+}
+
+func TestZeroHorizon(t *testing.T) {
+	c := gen.FeedbackChain(3)
+	res := Run(c, Options{Workers: 2, Horizon: 0})
+	if res.Run.NodeUpdates != 0 {
+		t.Errorf("updates at zero horizon: %d", res.Run.NodeUpdates)
+	}
+}
+
+func TestClockedLookaheadBoundsEvals(t *testing.T) {
+	// Without DFF lookahead, valid-times creep around the CPU's register
+	// feedback loops a tick or two per activation and evaluations explode
+	// by ~100x over the event-driven count. With lookahead the flood must
+	// stay within an order of magnitude.
+	cfg := gen.DefaultCPU()
+	c := gen.CPU(cfg)
+	horizon := gen.CPUHorizon(cfg, 30)
+	asyncRes := Run(c, Options{Workers: 1, Horizon: horizon})
+	seqRes := seq.Run(c, seq.Options{Horizon: horizon})
+	if asyncRes.Run.Evals > 15*seqRes.Run.Evals {
+		t.Errorf("async evals %d vs event-driven %d: lookahead not effective",
+			asyncRes.Run.Evals, seqRes.Run.Evals)
+	}
+}
+
+func TestLookaheadAblation(t *testing.T) {
+	// The ablation must still be exact, just slower: same histories, far
+	// more evaluations on the feedback-heavy CPU.
+	cfg := gen.DefaultCPU()
+	c := gen.CPU(cfg)
+	horizon := gen.CPUHorizon(cfg, 12)
+
+	ref := trace.NewRecorder()
+	with := Run(c, Options{Workers: 2, Horizon: horizon, Probe: ref})
+	got := trace.NewRecorder()
+	without := Run(c, Options{Workers: 2, Horizon: horizon, Probe: got, NoLookahead: true})
+	if d := trace.Diff(c, ref, got); d != "" {
+		t.Fatalf("lookahead changed results: %s", d)
+	}
+	if without.Run.Evals < 3*with.Run.Evals {
+		t.Errorf("lookahead saves little here: %d vs %d evals",
+			without.Run.Evals, with.Run.Evals)
+	}
+}
+
+func TestGateLookaheadExact(t *testing.T) {
+	// The controlling-value optimisation must not change any history.
+	circuits := []*circuit.Circuit{
+		gen.InverterArray(gen.InverterArrayConfig{Rows: 6, Cols: 6, ActiveRows: 4, TogglePeriod: 2}),
+		gen.FeedbackChain(9),
+		gen.CPU(gen.DefaultCPU()),
+	}
+	horizons := []circuit.Time{300, 400, gen.CPUHorizon(gen.DefaultCPU(), 25)}
+	for i, c := range circuits {
+		ref := trace.NewRecorder()
+		seq.Run(c, seq.Options{Horizon: horizons[i], Probe: ref})
+		got := trace.NewRecorder()
+		Run(c, Options{Workers: 2, Horizon: horizons[i], Probe: got, GateLookahead: true})
+		if d := trace.Diff(c, ref, got); d != "" {
+			t.Fatalf("%s: gate lookahead changed results: %s", c.Name, d)
+		}
+	}
+	for seed := int64(20); seed < 32; seed++ {
+		c := gen.RandomCircuit(seed, 80)
+		ref := trace.NewRecorder()
+		seq.Run(c, seq.Options{Horizon: 250, Probe: ref})
+		got := trace.NewRecorder()
+		Run(c, Options{Workers: 3, Horizon: 250, Probe: got, GateLookahead: true})
+		if d := trace.Diff(c, ref, got); d != "" {
+			t.Fatalf("seed %d: gate lookahead changed results: %s", seed, d)
+		}
+	}
+}
+
+func TestGateLookaheadSkipsWork(t *testing.T) {
+	// An AND gate whose busy input trickles events out of a feedback ring
+	// while the hold input pins the output low: with the optimisation the
+	// gate must consume those events without invoking its model.
+	ringLen := 9
+	b := circuit.NewBuilder("gate-la")
+	load := b.Bit("load")
+	zero := b.Bit("zero")
+	y := b.Bit("y")
+	b.Wave("loadgen", load, []circuit.Time{0, circuit.Time(2 * ringLen)},
+		[]logic.Value{logic.V(1, 1), logic.V(1, 0)})
+	b.Const("zgen", zero, logic.V(1, 0))
+	prev := y
+	for i := 0; i < ringLen; i++ {
+		out := b.Bit(name2("fb", i))
+		b.Gate(circuit.KindNot, name2("inv", i), 1, out, prev)
+		prev = out
+	}
+	b.AddElement(circuit.KindMux2, "mux", 1, []circuit.NodeID{y},
+		[]circuit.NodeID{load, prev, zero}, circuit.Params{})
+
+	hold := b.Bit("hold")
+	b.Wave("holdgen", hold, []circuit.Time{0, 1900},
+		[]logic.Value{logic.V(1, 0), logic.V(1, 1)})
+	// A whole bank of gated consumers: without the optimisation each one
+	// re-evaluates per ring event; with it they all skip.
+	for i := 0; i < 32; i++ {
+		gated := b.Bit(name2("gated", i))
+		b.Gate(circuit.KindAnd, name2("gate", i), 1, gated, hold, y)
+	}
+	c := b.MustBuild()
+
+	with := Run(c, Options{Workers: 1, Horizon: 2000, GateLookahead: true})
+	without := Run(c, Options{Workers: 1, Horizon: 2000})
+	if with.Run.NodeUpdates != without.Run.NodeUpdates {
+		t.Fatalf("update counts differ: %d vs %d", with.Run.NodeUpdates, without.Run.NodeUpdates)
+	}
+	if with.Run.ModelCalls*2 > without.Run.ModelCalls {
+		t.Errorf("gate lookahead barely helped: %d vs %d model calls",
+			with.Run.ModelCalls, without.Run.ModelCalls)
+	}
+}
+
+func name2(p string, i int) string {
+	return p + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestChandyMisraDeadlockRecoveryExact(t *testing.T) {
+	// The Chandy-Misra discipline (frozen valid-times, global deadlock
+	// recovery) must produce the same histories as everything else.
+	circuits := []struct {
+		c       *circuit.Circuit
+		horizon circuit.Time
+	}{
+		{gen.InverterArray(gen.InverterArrayConfig{Rows: 6, Cols: 6, ActiveRows: 5, TogglePeriod: 2}), 200},
+		{gen.FeedbackChain(9), 400},
+		{gen.FuncMultiplier(gen.DefaultMultiplier()), 512},
+	}
+	for _, tc := range circuits {
+		ref := trace.NewRecorder()
+		seq.Run(tc.c, seq.Options{Horizon: tc.horizon, Probe: ref})
+		got := trace.NewRecorder()
+		res := Run(tc.c, Options{Workers: 2, Horizon: tc.horizon, Probe: got, DeadlockRecovery: true})
+		if d := trace.Diff(tc.c, ref, got); d != "" {
+			t.Fatalf("%s: CM mode differs: %s", tc.c.Name, d)
+		}
+		if res.Rounds < 2 {
+			t.Errorf("%s: expected deadlock-recovery rounds, got %d", tc.c.Name, res.Rounds)
+		}
+		t.Logf("%s: %d deadlock-recovery rounds, %d evals", tc.c.Name, res.Rounds, res.Run.Evals)
+	}
+}
+
+func TestFeedbackNeedsManyRecoveryRounds(t *testing.T) {
+	// The paper's point against Chandy-Misra: around a feedback loop the
+	// simulation deadlocks over and over; incremental valid-times (the
+	// default mode) never deadlock at all.
+	c := gen.FeedbackChain(9)
+	cm := Run(c, Options{Workers: 2, Horizon: 400, DeadlockRecovery: true})
+	inc := Run(c, Options{Workers: 2, Horizon: 400})
+	if inc.Rounds != 1 {
+		t.Errorf("incremental mode reported %d rounds", inc.Rounds)
+	}
+	if cm.Rounds < 20 {
+		t.Errorf("CM on a feedback ring broke only %d deadlocks", cm.Rounds)
+	}
+}

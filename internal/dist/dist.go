@@ -1,0 +1,191 @@
+// Package dist implements the paper's stated future work: "porting these
+// algorithms to a hypercube architecture" — the asynchronous algorithm
+// restructured for distributed memory.
+//
+// Unlike package core, nothing is shared: every worker owns a static
+// partition of elements plus private replicas of the node histories its
+// elements read. Owners broadcast batches of events and valid-time
+// advances to subscriber workers over channels (the message-passing stand-
+// in for hypercube links), and consumed history prefixes are compacted
+// locally — explicit storage reclamation, since no shared garbage
+// collector can see a remote replica.
+//
+// Termination uses the Dijkstra-Feijen-van Gasteren ring: workers colour
+// themselves black when they send work, a token circulates when workers go
+// passive, and worker 0 announces termination when a white token completes
+// a round through passive white workers. No counters are shared.
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+	"parsim/internal/partition"
+	"parsim/internal/stats"
+	"parsim/internal/trace"
+)
+
+// Options configures a run.
+type Options struct {
+	Workers  int          // partitions / virtual hypercube nodes; >= 1
+	Horizon  circuit.Time // simulate t in [0, Horizon)
+	Probe    trace.Probe  // optional observer; must be concurrency-safe
+	CostSpin int64        // if > 0, burn CostSpin x element Cost per evaluation
+	Strategy partition.Strategy
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Run      stats.Run
+	Final    []logic.Value
+	Messages int64 // inter-worker messages sent
+}
+
+// event is one node value change.
+type event struct {
+	t circuit.Time
+	v logic.Value
+}
+
+// msg carries one owned node's fresh behaviour to a subscriber.
+type msg struct {
+	node    circuit.NodeID
+	events  []event
+	validTo circuit.Time
+}
+
+// token is Safra's termination-detection token: the colour records whether
+// any visited worker did work since last whitened; q accumulates each
+// worker's sent-minus-received message count, so in-flight mail is visible.
+type token struct {
+	black bool
+	q     int64
+}
+
+// replica is a worker-local view of one node's history. For nodes the
+// worker owns it is the authoritative copy; for remote nodes it is fed by
+// messages. Plain fields only — each replica lives inside one goroutine.
+type replica struct {
+	events  []event
+	base    int64 // history index of events[0] (grows as the prefix is reclaimed)
+	validTo circuit.Time
+	last    logic.Value // last value (dedup for owners, tail value for all)
+	final   logic.Value // last value applied before the horizon (owners)
+}
+
+const reclaimThreshold = 256
+
+// Run simulates the circuit on opts.Workers message-passing workers.
+func Run(c *circuit.Circuit, opts Options) *Result {
+	if opts.Workers < 1 {
+		panic("dist: need at least one worker")
+	}
+	p := opts.Workers
+	parts := partition.Split(c, p, opts.Strategy)
+
+	// elemOwner[i] = worker owning element i; nodeOwner likewise via driver.
+	elemOwner := make([]int, len(c.Elems))
+	for w, part := range parts {
+		for _, e := range part {
+			elemOwner[e] = w
+		}
+	}
+	for _, g := range c.Generators() {
+		elemOwner[g] = int(g) % p
+	}
+
+	workers := make([]*worker, p)
+	done := make(chan struct{})
+	for w := 0; w < p; w++ {
+		workers[w] = newWorker(c, opts, w, p, parts[w], elemOwner)
+		workers[w].done = done
+	}
+	// Wire channels and subscriber lists.
+	for w := 0; w < p; w++ {
+		workers[w].peers = workers
+	}
+	for i := range c.Nodes {
+		owner := elemOwner[c.Nodes[i].Driver]
+		subs := map[int]bool{}
+		for _, pr := range c.Nodes[i].Fanout {
+			if o := elemOwner[pr.Elem]; o != owner {
+				subs[o] = true
+			}
+		}
+		for s := range subs {
+			nid := circuit.NodeID(i)
+			workers[owner].subscribers[nid] = append(workers[owner].subscribers[nid], s)
+		}
+	}
+
+	// Seed generators: the owner materialises each generator's behaviour
+	// for all time before workers start.
+	for _, g := range c.Generators() {
+		w := workers[elemOwner[g]]
+		el := &c.Elems[g]
+		n := el.Out[0]
+		r := w.replicaFor(n)
+		var t circuit.Time
+		for t < opts.Horizon {
+			v := el.GenValueAt(t)
+			if !v.Equal(r.last) {
+				w.append(n, t, v)
+			}
+			next, ok := el.GenNextChange(t)
+			if !ok {
+				break
+			}
+			t = next
+		}
+		w.advanceValidTo(n, opts.Horizon)
+	}
+	// Flush the seeded behaviour as pre-start mail and activations.
+	for _, w := range workers {
+		w.preStartFlush()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &Result{Final: make([]logic.Value, len(c.Nodes))}
+	for i := range c.Nodes {
+		owner := workers[elemOwner[c.Nodes[i].Driver]]
+		if r, ok := owner.replicas[circuit.NodeID(i)]; ok {
+			res.Final[i] = r.final
+		} else {
+			res.Final[i] = logic.AllX(c.Nodes[i].Width)
+		}
+	}
+	res.Run = stats.Run{
+		Algorithm: "distributed-async",
+		Circuit:   c.Name,
+		Horizon:   opts.Horizon,
+		Workers:   p,
+		Wall:      wall,
+		Busy:      make([]time.Duration, p),
+	}
+	for w := 0; w < p; w++ {
+		res.Run.NodeUpdates += workers[w].nUpdates
+		res.Run.Evals += workers[w].nEvals
+		res.Run.ModelCalls += workers[w].nModelCalls
+		res.Run.EventsUsed += workers[w].nEvents
+		res.Messages += workers[w].nMsgs
+		busy := wall - workers[w].idleTime
+		if busy < 0 {
+			busy = 0
+		}
+		res.Run.Busy[w] = busy
+	}
+	return res
+}

@@ -1,0 +1,174 @@
+// Package eventq implements the pending-event structure used by the
+// event-driven simulators: a timing wheel for the dense near future with a
+// binary-heap overflow for far-future events. This is the classic logic
+// simulator queue — O(1) scheduling for the common case of short gate
+// delays, falling back gracefully for long delays such as clock periods.
+package eventq
+
+import (
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// Update is a scheduled node value change.
+type Update struct {
+	Node  circuit.NodeID
+	Value logic.Value
+}
+
+// DefaultWheelSize is the wheel span in ticks used by New.
+const DefaultWheelSize = 1024
+
+type slot struct {
+	t   circuit.Time
+	ups []Update
+}
+
+type overflowEntry struct {
+	t  circuit.Time
+	up Update
+}
+
+// Queue is a single-owner (not concurrency-safe) pending-event queue.
+// Times must be scheduled at or after the last popped time; the simulators
+// guarantee this because every element delay is at least one tick.
+type Queue struct {
+	slots []slot
+	mask  circuit.Time
+	cur   circuit.Time // scan start: no pending time is below cur
+	wheel int          // updates resident in the wheel
+	over  []overflowEntry
+	n     int
+}
+
+// New returns an empty queue with the default wheel size.
+func New() *Queue { return NewSize(DefaultWheelSize) }
+
+// NewSize returns an empty queue whose wheel spans the given number of
+// ticks; size must be a power of two.
+func NewSize(size int) *Queue {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("eventq: wheel size must be a positive power of two")
+	}
+	return &Queue{slots: make([]slot, size), mask: circuit.Time(size - 1)}
+}
+
+// Len returns the number of pending updates.
+func (q *Queue) Len() int { return q.n }
+
+// Schedule adds an update at time t. Scheduling before the last popped time
+// panics: it would mean a causality violation in the simulator.
+func (q *Queue) Schedule(t circuit.Time, up Update) {
+	if t < q.cur {
+		panic("eventq: schedule in the past")
+	}
+	q.n++
+	if t < q.cur+circuit.Time(len(q.slots)) {
+		s := &q.slots[t&q.mask]
+		if len(s.ups) == 0 {
+			s.t = t
+			s.ups = append(s.ups, up)
+			q.wheel++
+			return
+		}
+		if s.t == t {
+			s.ups = append(s.ups, up)
+			q.wheel++
+			return
+		}
+		// Slot collision with a different resident time (possible when the
+		// resident entry predates several wheel advances): overflow.
+	}
+	q.pushOverflow(overflowEntry{t: t, up: up})
+}
+
+// Peek returns the earliest pending time.
+func (q *Queue) Peek() (circuit.Time, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	t := q.scanWheel()
+	if len(q.over) > 0 && (t < 0 || q.over[0].t < t) {
+		t = q.over[0].t
+	}
+	return t, true
+}
+
+// PopNext removes and returns every update scheduled at the earliest pending
+// time. The returned slice is valid until the next call to Schedule or
+// PopNext.
+func (q *Queue) PopNext() (circuit.Time, []Update, bool) {
+	t, ok := q.Peek()
+	if !ok {
+		return 0, nil, false
+	}
+	var ups []Update
+	s := &q.slots[t&q.mask]
+	if len(s.ups) > 0 && s.t == t {
+		ups = s.ups
+		s.ups = s.ups[:0]
+		// Hand the caller the backing array and give the slot a fresh one so
+		// the returned slice survives subsequent scheduling into this slot.
+		q.slots[t&q.mask].ups = nil
+		q.wheel -= len(ups)
+	}
+	for len(q.over) > 0 && q.over[0].t == t {
+		ups = append(ups, q.popOverflow().up)
+	}
+	q.n -= len(ups)
+	q.cur = t + 1
+	return t, ups, true
+}
+
+// scanWheel returns the earliest resident wheel time, or -1 if the wheel is
+// empty.
+func (q *Queue) scanWheel() circuit.Time {
+	if q.wheel == 0 {
+		return -1
+	}
+	for i := circuit.Time(0); i < circuit.Time(len(q.slots)); i++ {
+		t := q.cur + i
+		if s := &q.slots[t&q.mask]; len(s.ups) > 0 && s.t == t {
+			return t
+		}
+	}
+	// Invariant: wheel entries always lie in [cur, cur+size).
+	panic("eventq: wheel accounting corrupt")
+}
+
+func (q *Queue) pushOverflow(e overflowEntry) {
+	q.over = append(q.over, e)
+	i := len(q.over) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.over[parent].t <= q.over[i].t {
+			break
+		}
+		q.over[parent], q.over[i] = q.over[i], q.over[parent]
+		i = parent
+	}
+}
+
+func (q *Queue) popOverflow() overflowEntry {
+	top := q.over[0]
+	last := len(q.over) - 1
+	q.over[0] = q.over[last]
+	q.over = q.over[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && q.over[l].t < q.over[small].t {
+			small = l
+		}
+		if r < last && q.over[r].t < q.over[small].t {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.over[i], q.over[small] = q.over[small], q.over[i]
+		i = small
+	}
+	return top
+}

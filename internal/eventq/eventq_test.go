@@ -1,0 +1,204 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+func up(n int) Update {
+	return Update{Node: circuit.NodeID(n), Value: logic.V(8, uint64(n))}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := New()
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue")
+	}
+	if _, _, ok := q.PopNext(); ok {
+		t.Fatal("PopNext on empty queue")
+	}
+}
+
+func TestFIFOWithinTime(t *testing.T) {
+	q := New()
+	q.Schedule(5, up(1))
+	q.Schedule(5, up(2))
+	q.Schedule(5, up(3))
+	tm, ups, ok := q.PopNext()
+	if !ok || tm != 5 || len(ups) != 3 {
+		t.Fatalf("pop = %d %v %v", tm, ups, ok)
+	}
+	for i, u := range ups {
+		if u.Node != circuit.NodeID(i+1) {
+			t.Errorf("ups[%d] = node %d", i, u.Node)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	q := New()
+	for _, tm := range []circuit.Time{9, 2, 7, 4, 100000, 3} {
+		q.Schedule(tm, up(int(tm)))
+	}
+	want := []circuit.Time{2, 3, 4, 7, 9, 100000}
+	for _, w := range want {
+		tm, ups, ok := q.PopNext()
+		if !ok || tm != w || len(ups) != 1 {
+			t.Fatalf("pop = %d (%d ups) %v, want %d", tm, len(ups), ok, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after draining", q.Len())
+	}
+}
+
+func TestOverflowBeyondWheel(t *testing.T) {
+	q := NewSize(16)
+	// Far beyond the 16-tick wheel.
+	q.Schedule(1000, up(1))
+	q.Schedule(3, up(2))
+	q.Schedule(1000+16, up(3)) // same slot as 1000 in a 16-slot wheel
+	tm, _, _ := q.PopNext()
+	if tm != 3 {
+		t.Fatalf("first pop = %d", tm)
+	}
+	tm, _, _ = q.PopNext()
+	if tm != 1000 {
+		t.Fatalf("second pop = %d", tm)
+	}
+	tm, _, _ = q.PopNext()
+	if tm != 1016 {
+		t.Fatalf("third pop = %d", tm)
+	}
+}
+
+func TestSlotCollisionGoesToOverflow(t *testing.T) {
+	q := NewSize(8)
+	q.Schedule(1, up(1))
+	// After popping time 1, cur=2; time 9 maps to slot 1 again while the
+	// wheel window is [2, 10).
+	tm, _, _ := q.PopNext()
+	if tm != 1 {
+		t.Fatal("setup pop failed")
+	}
+	q.Schedule(9, up(2))
+	q.Schedule(17, up(3)) // outside window -> overflow
+	tm, _, _ = q.PopNext()
+	if tm != 9 {
+		t.Fatalf("pop = %d, want 9", tm)
+	}
+	tm, _, _ = q.PopNext()
+	if tm != 17 {
+		t.Fatalf("pop = %d, want 17", tm)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	q := New()
+	q.Schedule(10, up(1))
+	q.PopNext()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	q.Schedule(5, up(2))
+}
+
+func TestBadWheelSizePanics(t *testing.T) {
+	for _, size := range []int{0, -4, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSize(%d) did not panic", size)
+				}
+			}()
+			NewSize(size)
+		}()
+	}
+}
+
+// TestAgainstModel drives the queue and a naive map-based model with the
+// same random schedule/pop sequence and requires identical behaviour.
+func TestAgainstModel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		q := NewSize(32)
+		model := map[circuit.Time][]Update{}
+		cur := circuit.Time(0)
+		id := 0
+		for step := 0; step < 2000; step++ {
+			if r.Intn(3) != 0 || len(model) == 0 {
+				// Schedule at a random future time, occasionally far out.
+				var dt circuit.Time
+				if r.Intn(10) == 0 {
+					dt = circuit.Time(r.Intn(5000))
+				} else {
+					dt = circuit.Time(r.Intn(20))
+				}
+				tm := cur + dt
+				u := up(id)
+				id++
+				q.Schedule(tm, u)
+				model[tm] = append(model[tm], u)
+			} else {
+				tm, ups, ok := q.PopNext()
+				if !ok {
+					t.Fatalf("seed %d: queue empty but model has %d times", seed, len(model))
+				}
+				// Model: find min time.
+				var want circuit.Time = -1
+				for mt := range model {
+					if want < 0 || mt < want {
+						want = mt
+					}
+				}
+				if tm != want {
+					t.Fatalf("seed %d: popped %d, want %d", seed, tm, want)
+				}
+				wantUps := model[want]
+				delete(model, want)
+				if len(ups) != len(wantUps) {
+					t.Fatalf("seed %d t=%d: %d ups, want %d", seed, tm, len(ups), len(wantUps))
+				}
+				// Same multiset of updates (order may differ between wheel
+				// and overflow portions).
+				sortUps := func(s []Update) {
+					sort.Slice(s, func(i, j int) bool { return s[i].Node < s[j].Node })
+				}
+				gotCopy := append([]Update(nil), ups...)
+				sortUps(gotCopy)
+				sortUps(wantUps)
+				for i := range gotCopy {
+					if gotCopy[i] != wantUps[i] {
+						t.Fatalf("seed %d t=%d: ups differ at %d", seed, tm, i)
+					}
+				}
+				cur = tm + 1
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleAndPop(b *testing.B) {
+	q := New()
+	r := rand.New(rand.NewSource(1))
+	cur := circuit.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(cur+circuit.Time(1+r.Intn(8)), up(i))
+		if i%4 == 3 {
+			tm, _, ok := q.PopNext()
+			if ok {
+				cur = tm
+			}
+		}
+	}
+}

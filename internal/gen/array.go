@@ -1,0 +1,94 @@
+// Package gen builds the paper's four benchmark circuits programmatically:
+// the 32x16 inverter array control circuit, the 16-bit multiplier at gate
+// and functional level, and a pipelined microprocessor — plus the long
+// feedback chain used to probe the asynchronous algorithm's worst case and
+// random circuits for differential testing.
+package gen
+
+import (
+	"fmt"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// InverterArrayConfig parameterises InverterArray.
+type InverterArrayConfig struct {
+	Rows int // number of independent inverter chains (paper: 32)
+	Cols int // inverters per chain (paper: 16)
+	// ActiveRows inputs toggle every TogglePeriod ticks; the rest are held
+	// at 0. This is the knob the paper turns to control the number of
+	// events per time step (Fig. 2: 512 down to 64 events/tick).
+	ActiveRows   int
+	TogglePeriod circuit.Time // 0 means 1 (toggle every tick)
+}
+
+// DefaultInverterArray is the paper's 32x16 array with every input toggling
+// each tick, producing ~512 events per time step in steady state.
+func DefaultInverterArray() InverterArrayConfig {
+	return InverterArrayConfig{Rows: 32, Cols: 16, ActiveRows: 32, TogglePeriod: 1}
+}
+
+// InverterArray builds the control circuit: Rows independent chains of Cols
+// unit-delay inverters. Each active row's input toggles every TogglePeriod
+// ticks, so after the pipeline fills, roughly ActiveRows x Cols events are
+// available per time step.
+func InverterArray(cfg InverterArrayConfig) *circuit.Circuit {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		panic("gen: inverter array needs positive dimensions")
+	}
+	if cfg.ActiveRows < 0 || cfg.ActiveRows > cfg.Rows {
+		panic("gen: ActiveRows out of range")
+	}
+	period := cfg.TogglePeriod
+	if period == 0 {
+		period = 1
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("inverter-array-%dx%d-a%d", cfg.Rows, cfg.Cols, cfg.ActiveRows))
+	for r := 0; r < cfg.Rows; r++ {
+		in := b.Bit(fmt.Sprintf("in%d", r))
+		if r < cfg.ActiveRows {
+			// A toggle every `period` ticks is a clock of period 2*period.
+			b.Clock(fmt.Sprintf("gen%d", r), in, 2*period, 0, period)
+		} else {
+			b.Const(fmt.Sprintf("gen%d", r), in, logic.V(1, 0))
+		}
+		prev := in
+		for c := 0; c < cfg.Cols; c++ {
+			out := b.Bit(fmt.Sprintf("n%d_%d", r, c))
+			b.Gate(circuit.KindNot, fmt.Sprintf("inv%d_%d", r, c), 1, out, prev)
+			prev = out
+		}
+	}
+	return b.MustBuild()
+}
+
+// FeedbackChain builds the asynchronous algorithm's worst case (experiment
+// T4): a single loop containing length inverters plus a loadable mux, so
+// almost the whole circuit sits on one feedback path and events can only be
+// produced one at a time around the ring.
+//
+// The mux output follows a constant 0 while load is high (t < 2*length),
+// letting known values fill the ring; after load falls the ring oscillates
+// with period 2*(length+1). length must be odd so the loop inverts.
+func FeedbackChain(length int) *circuit.Circuit {
+	if length < 1 || length%2 == 0 {
+		panic("gen: feedback chain length must be positive and odd")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("feedback-chain-%d", length))
+	load := b.Bit("load")
+	zero := b.Bit("zero")
+	y := b.Bit("y")
+	b.Wave("loadgen", load, []circuit.Time{0, circuit.Time(2 * length)},
+		[]logic.Value{logic.V(1, 1), logic.V(1, 0)})
+	b.Const("zgen", zero, logic.V(1, 0))
+	prev := y
+	for i := 0; i < length; i++ {
+		out := b.Bit(fmt.Sprintf("fb%d", i))
+		b.Gate(circuit.KindNot, fmt.Sprintf("inv%d", i), 1, out, prev)
+		prev = out
+	}
+	b.AddElement(circuit.KindMux2, "mux", 1, []circuit.NodeID{y},
+		[]circuit.NodeID{load, prev, zero}, circuit.Params{})
+	return b.MustBuild()
+}

@@ -1,0 +1,468 @@
+package gen
+
+import (
+	"fmt"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// The microprocessor benchmark: a 16-bit, 16-register accumulator machine
+// with a two-stage pipeline (fetch overlapped with execute/write-back),
+// built almost entirely from two-input gates — the paper's "pipelined
+// micro-processor with about 3000 non-memory gates". Instruction ROM and
+// data RAM are functional elements, matching the paper's exclusion of
+// memory from the gate count.
+//
+// ISA (16-bit instructions, fields op[15:12] rd[11:8] rs[7:4] rt/imm4[3:0]):
+//
+//	NOP                       0x0---
+//	LI   rd, imm8             rd = zext(imm8)
+//	ADD  rd, rs, rt           rd = rs + rt
+//	SUB  rd, rs, rt           rd = rs - rt
+//	AND  rd, rs, rt           rd = rs & rt
+//	OR   rd, rs, rt           rd = rs | rt
+//	XOR  rd, rs, rt           rd = rs ^ rt
+//	ADDI rd, rs, imm4         rd = rs + zext(imm4)
+//	BNEZ rs, off4             if rs != 0: PC = addr(BNEZ)+2+sext(off4); one delay slot
+//	JMP  addr8                PC = addr8 (one delay slot)
+//	LW   rd, rs               rd = MEM[rs & 0xff]
+//	SW   rs, rt               MEM[rs & 0xff] = rt
+//
+// Branches resolve while the following instruction is already being
+// fetched, so exactly one delay-slot instruction always executes — the
+// reference ISS models the same semantics.
+
+// CPU opcodes.
+const (
+	opNOP = iota
+	opLI
+	opADD
+	opSUB
+	opAND
+	opOR
+	opXOR
+	opADDI
+	opBNEZ
+	opJMP
+	opLW
+	opSW
+)
+
+// Instruction assemblers.
+
+// NOP returns a no-operation instruction.
+func NOP() uint16 { return 0 }
+
+// LI assembles "load immediate": rd = zext(imm8).
+func LI(rd int, imm8 uint8) uint16 { return uint16(opLI)<<12 | reg(rd)<<8 | uint16(imm8) }
+
+// ADD assembles rd = rs + rt.
+func ADD(rd, rs, rt int) uint16 { return r3(opADD, rd, rs, rt) }
+
+// SUB assembles rd = rs - rt.
+func SUB(rd, rs, rt int) uint16 { return r3(opSUB, rd, rs, rt) }
+
+// AND assembles rd = rs & rt.
+func AND(rd, rs, rt int) uint16 { return r3(opAND, rd, rs, rt) }
+
+// OR assembles rd = rs | rt.
+func OR(rd, rs, rt int) uint16 { return r3(opOR, rd, rs, rt) }
+
+// XOR assembles rd = rs ^ rt.
+func XOR(rd, rs, rt int) uint16 { return r3(opXOR, rd, rs, rt) }
+
+// ADDI assembles rd = rs + zext(imm4).
+func ADDI(rd, rs int, imm4 uint8) uint16 {
+	if imm4 > 15 {
+		panic("gen: ADDI immediate out of range")
+	}
+	return uint16(opADDI)<<12 | reg(rd)<<8 | reg(rs)<<4 | uint16(imm4)
+}
+
+// BNEZ assembles a conditional branch: if rs != 0, control transfers to
+// addr(BNEZ)+2+sext(off4) (mod 256), with off4 in [-8, 7]. The instruction
+// in the delay slot (addr+1) always executes.
+func BNEZ(rs int, off4 int8) uint16 {
+	if off4 < -8 || off4 > 7 {
+		panic("gen: BNEZ offset out of range [-8,7]")
+	}
+	return uint16(opBNEZ)<<12 | reg(rs)<<4 | uint16(off4)&0xf
+}
+
+// JMP assembles an absolute jump with one delay slot.
+func JMP(addr8 uint8) uint16 { return uint16(opJMP)<<12 | uint16(addr8) }
+
+// LW assembles rd = MEM[rs].
+func LW(rd, rs int) uint16 { return uint16(opLW)<<12 | reg(rd)<<8 | reg(rs)<<4 }
+
+// SW assembles MEM[rs] = rt.
+func SW(rs, rt int) uint16 { return uint16(opSW)<<12 | reg(rs)<<4 | reg(rt) }
+
+func reg(r int) uint16 {
+	if r < 0 || r > 15 {
+		panic("gen: register out of range")
+	}
+	return uint16(r)
+}
+
+func r3(op, rd, rs, rt int) uint16 {
+	return uint16(op)<<12 | reg(rd)<<8 | reg(rs)<<4 | reg(rt)
+}
+
+// CPUConfig parameterises the microprocessor build.
+type CPUConfig struct {
+	Program []uint16 // instruction ROM contents (padded with NOP to 256)
+	// ClockPeriod must exceed the worst-case combinational path, about 60
+	// gate delays through the ripple ALU; the default is 96.
+	ClockPeriod circuit.Time
+}
+
+// DefaultCPU returns the demo program configuration.
+func DefaultCPU() CPUConfig {
+	return CPUConfig{Program: DefaultCPUProgram(), ClockPeriod: 96}
+}
+
+// DefaultCPUProgram computes sum(1..10) into r1, the 10th Fibonacci number
+// (11 iterations) into r2, and exercises memory via SW/LW into r5, then spins.
+func DefaultCPUProgram() []uint16 {
+	return []uint16{
+		// r1 = sum 1..10: r3 counts down from 10, r1 accumulates.
+		LI(1, 0),
+		LI(3, 10),
+		// loop: r1 += r3; r3 -= 1; bnez r3, loop
+		ADD(1, 1, 3),  // 2
+		ADDI(4, 0, 1), // r4 = 1
+		SUB(3, 3, 4),  // r3--
+		BNEZ(3, -5),   // back to ADD at 2 (branch at 5, target 2 => off -5)
+		NOP(),         // delay slot
+		// Fibonacci: r2, r6 = fib pair; 10 iterations in r7.
+		LI(2, 0), // 7
+		LI(6, 1),
+		LI(7, 11),
+		ADD(8, 2, 6), // 10  fib step: r8 = r2+r6
+		OR(2, 6, 0),  // r2 = r6 (r0 is always zero only by convention: r0 never written)
+		OR(6, 8, 0),  // r6 = r8
+		SUB(7, 7, 4), // r7--
+		BNEZ(7, -6),  // back to 10 (branch at 14, target 10 => off -6)
+		NOP(),        // delay slot
+		// Memory round trip: MEM[32] = r1; r5 = MEM[32].
+		LI(9, 32), // 16
+		SW(9, 1),
+		LW(5, 9),
+		// XOR/AND sanity: r10 = r1 ^ r2, r11 = r1 & r2.
+		XOR(10, 1, 2),
+		AND(11, 1, 2),
+		JMP(21), // 21: spin
+		NOP(),   // delay slot
+	}
+}
+
+// cpuNodes carries the shared wiring context while building the CPU.
+type cpuNodes struct {
+	b    *circuit.Builder
+	l    *cells
+	clk  circuit.NodeID
+	rst  circuit.NodeID
+	zero circuit.NodeID // constant 0 bit
+	one  circuit.NodeID // constant 1 bit
+}
+
+// muxTree builds a 16:1 selection over inputs using sel[0..3]
+// (least-significant select bit switches adjacent pairs).
+func (cn *cpuNodes) muxTree(ins []circuit.NodeID, sel []circuit.NodeID) circuit.NodeID {
+	level := ins
+	for s := 0; len(level) > 1; s++ {
+		next := make([]circuit.NodeID, len(level)/2)
+		for i := range next {
+			out := cn.l.fresh()
+			cn.b.AddElement(circuit.KindMux2, fmt.Sprintf("g%d", cn.l.n), 1,
+				[]circuit.NodeID{out},
+				[]circuit.NodeID{sel[s], level[2*i], level[2*i+1]}, circuit.Params{})
+			next[i] = out
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func (cn *cpuNodes) mux(sel, a, b circuit.NodeID) circuit.NodeID {
+	out := cn.l.fresh()
+	cn.b.AddElement(circuit.KindMux2, fmt.Sprintf("g%d", cn.l.n), 1,
+		[]circuit.NodeID{out}, []circuit.NodeID{sel, a, b}, circuit.Params{})
+	return out
+}
+
+// concatBus assembles individual bits (LSB first) into one bus node with the
+// given name.
+func (cn *cpuNodes) concatBus(name string, bits []circuit.NodeID) circuit.NodeID {
+	acc := bits[0]
+	width := 1
+	for i := 1; i < len(bits); i++ {
+		var out circuit.NodeID
+		if i == len(bits)-1 {
+			out = cn.b.Node(name, len(bits))
+		} else {
+			out = cn.b.Node(fmt.Sprintf("%s_acc%d", name, i), width+1)
+		}
+		cn.b.AddElement(circuit.KindConcat, fmt.Sprintf("%s_cc%d", name, i), 1,
+			[]circuit.NodeID{out}, []circuit.NodeID{acc, bits[i]}, circuit.Params{})
+		acc = out
+		width++
+	}
+	return acc
+}
+
+// sliceBus extracts every bit of a bus into fresh 1-bit nodes (LSB first).
+func (cn *cpuNodes) sliceBus(tag string, bus circuit.NodeID, width int) []circuit.NodeID {
+	bits := make([]circuit.NodeID, width)
+	for i := range bits {
+		bits[i] = cn.b.Bit(fmt.Sprintf("%s%d", tag, i))
+		cn.b.AddElement(circuit.KindSlice, fmt.Sprintf("%s_sl%d", tag, i), 1,
+			[]circuit.NodeID{bits[i]}, []circuit.NodeID{bus}, circuit.Params{Lo: i})
+	}
+	return bits
+}
+
+// CPURegNodeName returns the node name of bit b of register r, so tests and
+// examples can observe architectural state.
+func CPURegNodeName(r, b int) string { return fmt.Sprintf("r%d_b%d", r, b) }
+
+// CPURegValue assembles register r from final node values; ok is false if
+// any bit is X or Z.
+func CPURegValue(c *circuit.Circuit, final []logic.Value, r int) (uint16, bool) {
+	var v uint16
+	for b := 0; b < 16; b++ {
+		n := c.FindNode(CPURegNodeName(r, b))
+		if n == nil {
+			return 0, false
+		}
+		bit, ok := final[n.ID].Uint()
+		if !ok {
+			return 0, false
+		}
+		v |= uint16(bit) << b
+	}
+	return v, true
+}
+
+// CPUHorizon returns the simulation horizon that lets the CPU complete the
+// given number of pipeline cycles and settle.
+func CPUHorizon(cfg CPUConfig, cycles int) circuit.Time {
+	return cfg.ClockPeriod * circuit.Time(cycles+1)
+}
+
+// CPU builds the gate-level microprocessor.
+func CPU(cfg CPUConfig) *circuit.Circuit {
+	if cfg.ClockPeriod < 80 {
+		panic("gen: CPU clock period must be at least 80 gate delays")
+	}
+	if len(cfg.Program) > 256 {
+		panic("gen: program exceeds 256 instructions")
+	}
+	b := circuit.NewBuilder("microprocessor")
+	l := &cells{b: b, delay: 1}
+	cn := &cpuNodes{b: b, l: l}
+
+	cn.clk = b.Bit("clk")
+	// First rising edge one full period in; reset is released half way to
+	// the first edge so every flip-flop starts at 0.
+	b.Clock("clkgen", cn.clk, cfg.ClockPeriod, cfg.ClockPeriod, 0)
+	cn.rst = b.Bit("rst")
+	b.Wave("rstgen", cn.rst, []circuit.Time{0, cfg.ClockPeriod / 2},
+		[]logic.Value{logic.V(1, 1), logic.V(1, 0)})
+	cn.zero = b.Bit("c0")
+	b.Const("c0gen", cn.zero, logic.V(1, 0))
+	cn.one = b.Bit("c1")
+	b.Const("c1gen", cn.one, logic.V(1, 1))
+
+	// ---- Fetch: PC, instruction ROM, IR ----
+	// PC bits exist first as placeholder nodes; their driving flip-flops
+	// are added once next-PC logic is wired.
+	pcq := make([]circuit.NodeID, 8)
+	for i := range pcq {
+		pcq[i] = b.Bit(fmt.Sprintf("q_pc%d", i))
+	}
+	pcBus := cn.concatBus("pcbus", pcq)
+
+	romMem := make([]uint64, 256)
+	for i, ins := range cfg.Program {
+		romMem[i] = uint64(ins)
+	}
+	romOut := b.Node("romout", 16)
+	b.AddElement(circuit.KindRom, "irom", 2, []circuit.NodeID{romOut},
+		[]circuit.NodeID{pcBus}, circuit.Params{Mem: romMem})
+	romBits := cn.sliceBus("romb", romOut, 16)
+
+	ir := make([]circuit.NodeID, 16)
+	for i := range ir {
+		ir[i] = cn.dffrNamed(fmt.Sprintf("ir%d", i), romBits[i])
+	}
+
+	// ---- Decode ----
+	opBits := ir[12:16]
+	opInv := make([]circuit.NodeID, 4)
+	for i, ob := range opBits {
+		opInv[i] = l.gate(circuit.KindNot, ob)
+	}
+	onehot := func(code int) circuit.NodeID {
+		ins := make([]circuit.NodeID, 4)
+		for i := 0; i < 4; i++ {
+			if code>>i&1 == 1 {
+				ins[i] = opBits[i]
+			} else {
+				ins[i] = opInv[i]
+			}
+		}
+		return l.gate(circuit.KindAnd, ins...)
+	}
+	isLI := onehot(opLI)
+	isADD := onehot(opADD)
+	isSUB := onehot(opSUB)
+	isAND := onehot(opAND)
+	isOR := onehot(opOR)
+	isXOR := onehot(opXOR)
+	isADDI := onehot(opADDI)
+	isBNEZ := onehot(opBNEZ)
+	isJMP := onehot(opJMP)
+	isLW := onehot(opLW)
+	isSW := onehot(opSW)
+
+	regwrite := l.gate(circuit.KindOr, isLI, isADD, isSUB, isAND, isOR, isXOR, isADDI, isLW)
+
+	// ---- Register file: 16 x 16 flip-flops with write-port muxes ----
+	rdBits := ir[8:12]
+	rsBits := ir[4:8]
+	rtBits := ir[0:4]
+	rdInv := make([]circuit.NodeID, 4)
+	for i, rb := range rdBits {
+		rdInv[i] = l.gate(circuit.KindNot, rb)
+	}
+	we := make([]circuit.NodeID, 16)
+	for r := 0; r < 16; r++ {
+		ins := make([]circuit.NodeID, 0, 5)
+		for i := 0; i < 4; i++ {
+			if r>>i&1 == 1 {
+				ins = append(ins, rdBits[i])
+			} else {
+				ins = append(ins, rdInv[i])
+			}
+		}
+		ins = append(ins, regwrite)
+		we[r] = l.gate(circuit.KindAnd, ins...)
+	}
+
+	// Write-back value bits are wired below; declare placeholders now.
+	wb := make([]circuit.NodeID, 16)
+	for bit := range wb {
+		wb[bit] = b.Bit(fmt.Sprintf("wb%d", bit))
+	}
+	q := make([][]circuit.NodeID, 16) // q[r][bit]
+	for r := 0; r < 16; r++ {
+		q[r] = make([]circuit.NodeID, 16)
+		for bit := 0; bit < 16; bit++ {
+			qn := b.Node(CPURegNodeName(r, bit), 1)
+			d := cn.mux(we[r], qn, wb[bit])
+			cn.dffrInto(qn, fmt.Sprintf("r%d_b%d", r, bit), d)
+			q[r][bit] = qn
+		}
+	}
+
+	// Read ports.
+	rsv := make([]circuit.NodeID, 16)
+	rtv := make([]circuit.NodeID, 16)
+	for bit := 0; bit < 16; bit++ {
+		col := make([]circuit.NodeID, 16)
+		for r := 0; r < 16; r++ {
+			col[r] = q[r][bit]
+		}
+		rsv[bit] = cn.muxTree(col, rsBits)
+		rtv[bit] = cn.muxTree(col, rtBits)
+	}
+
+	// ---- ALU ----
+	subsig := isSUB
+	aluBImm := isADDI
+	bsel := make([]circuit.NodeID, 16)
+	for bit := 0; bit < 16; bit++ {
+		immBit := cn.zero
+		if bit < 4 {
+			immBit = rtBits[bit] // imm4 occupies the rt field
+		}
+		bsel[bit] = cn.mux(aluBImm, rtv[bit], immBit)
+	}
+	sum := make([]circuit.NodeID, 16)
+	carry := subsig // +1 when subtracting (two's complement)
+	for bit := 0; bit < 16; bit++ {
+		bx := l.gate(circuit.KindXor, bsel[bit], subsig)
+		sum[bit], carry = l.fullAdder(rsv[bit], bx, carry)
+	}
+	alur := make([]circuit.NodeID, 16)
+	for bit := 0; bit < 16; bit++ {
+		andr := l.gate(circuit.KindAnd, rsv[bit], bsel[bit])
+		orr := l.gate(circuit.KindOr, rsv[bit], bsel[bit])
+		xorr := l.gate(circuit.KindXor, rsv[bit], bsel[bit])
+		r1 := cn.mux(isAND, sum[bit], andr)
+		r2 := cn.mux(isOR, r1, orr)
+		alur[bit] = cn.mux(isXOR, r2, xorr)
+	}
+
+	// ---- Data memory ----
+	addrBus := cn.concatBus("maddr", rsv[:8])
+	wdataBus := cn.concatBus("mwdata", rtv)
+	ramOut := b.Node("mrdata", 16)
+	b.AddElement(circuit.KindRam, "dram", 2, []circuit.NodeID{ramOut},
+		[]circuit.NodeID{cn.clk, isSW, addrBus, wdataBus}, circuit.Params{})
+	ramBits := cn.sliceBus("mrd", ramOut, 16)
+
+	// ---- Write-back selection ----
+	for bit := 0; bit < 16; bit++ {
+		immBit := cn.zero
+		if bit < 8 {
+			immBit = ir[bit] // imm8 occupies the low byte
+		}
+		w1 := cn.mux(isLI, alur[bit], immBit)
+		w2 := cn.mux(isLW, w1, ramBits[bit])
+		b.Gate(circuit.KindBuf, fmt.Sprintf("wbb%d", bit), 1, wb[bit], w2)
+	}
+
+	// ---- Next PC ----
+	rsnz := l.gate(circuit.KindOr, rsv...)
+	taken := l.gate(circuit.KindAnd, isBNEZ, rsnz)
+	// PC + 1.
+	pcinc := make([]circuit.NodeID, 8)
+	c := cn.one
+	for bit := 0; bit < 8; bit++ {
+		pcinc[bit], c = l.halfAdder(pcq[bit], c)
+	}
+	// Branch target = PC + 1 + sext(off4); the offset sits in ir[3:0] and
+	// ir[3] supplies the sign bits.
+	brt := make([]circuit.NodeID, 8)
+	c = cn.zero
+	for bit := 0; bit < 8; bit++ {
+		off := ir[3]
+		if bit < 4 {
+			off = ir[bit]
+		}
+		brt[bit], c = l.fullAdder(pcinc[bit], off, c)
+	}
+	for bit := 0; bit < 8; bit++ {
+		n1 := cn.mux(taken, pcinc[bit], brt[bit])
+		npc := cn.mux(isJMP, n1, ir[bit])
+		cn.dffrNamed(fmt.Sprintf("pc%d", bit), npc)
+	}
+	return b.MustBuild()
+}
+
+// dffrNamed adds a reset-to-zero flip-flop whose q node is named "q_"+name.
+func (cn *cpuNodes) dffrNamed(name string, d circuit.NodeID) circuit.NodeID {
+	q := cn.b.Bit("q_" + name)
+	cn.dffrInto(q, name, d)
+	return q
+}
+
+// dffrInto adds a reset-to-zero flip-flop driving an existing node.
+func (cn *cpuNodes) dffrInto(q circuit.NodeID, name string, d circuit.NodeID) {
+	cn.b.AddElement(circuit.KindDFFR, "ff_"+name, 1, []circuit.NodeID{q},
+		[]circuit.NodeID{cn.clk, cn.rst, d}, circuit.Params{Init: logic.V(1, 0)})
+}

@@ -1,0 +1,86 @@
+package gen
+
+// ISS is a cycle-level instruction-set simulator for the microprocessor,
+// modelling the same two-stage pipeline (including the branch delay slot)
+// so that architectural state can be compared register for register against
+// the gate-level simulation after any number of cycles.
+type ISS struct {
+	PC  uint8
+	IR  uint16
+	Reg [16]uint16
+	Mem [256]uint16
+	// MemKnown tracks which words have been written; the gate-level RAM
+	// reads X from untouched words, which has no uint16 representation.
+	MemKnown [256]bool
+	rom      [256]uint16
+	Cycles   int
+}
+
+// NewISS returns a reset processor with the given program loaded; PC and
+// all registers are zero and the pipeline holds a NOP, exactly like the
+// gate-level machine coming out of reset.
+func NewISS(program []uint16) *ISS {
+	if len(program) > 256 {
+		panic("gen: program exceeds 256 instructions")
+	}
+	iss := &ISS{}
+	copy(iss.rom[:], program)
+	return iss
+}
+
+// Step executes one pipeline cycle: the instruction in IR executes and
+// writes back while the instruction at PC is fetched.
+func (iss *ISS) Step() {
+	ir := iss.IR
+	op := ir >> 12
+	rd := int(ir >> 8 & 0xf)
+	rs := int(ir >> 4 & 0xf)
+	rt := int(ir & 0xf)
+	imm4 := uint16(ir & 0xf)
+	imm8 := ir & 0xff
+
+	nextPC := iss.PC + 1
+	switch op {
+	case opLI:
+		iss.Reg[rd] = imm8
+	case opADD:
+		iss.Reg[rd] = iss.Reg[rs] + iss.Reg[rt]
+	case opSUB:
+		iss.Reg[rd] = iss.Reg[rs] - iss.Reg[rt]
+	case opAND:
+		iss.Reg[rd] = iss.Reg[rs] & iss.Reg[rt]
+	case opOR:
+		iss.Reg[rd] = iss.Reg[rs] | iss.Reg[rt]
+	case opXOR:
+		iss.Reg[rd] = iss.Reg[rs] ^ iss.Reg[rt]
+	case opADDI:
+		iss.Reg[rd] = iss.Reg[rs] + imm4
+	case opBNEZ:
+		if iss.Reg[rs] != 0 {
+			off := imm4
+			if off&0x8 != 0 {
+				off |= 0xfff0 // sign-extend
+			}
+			nextPC = iss.PC + 1 + uint8(off)
+		}
+	case opJMP:
+		nextPC = uint8(imm8)
+	case opLW:
+		addr := iss.Reg[rs] & 0xff
+		iss.Reg[rd] = iss.Mem[addr] // X reads are the caller's concern via MemKnown
+	case opSW:
+		addr := iss.Reg[rs] & 0xff
+		iss.Mem[addr] = iss.Reg[rt]
+		iss.MemKnown[addr] = true
+	}
+	iss.IR = iss.rom[iss.PC]
+	iss.PC = nextPC
+	iss.Cycles++
+}
+
+// Run executes n pipeline cycles.
+func (iss *ISS) Run(n int) {
+	for i := 0; i < n; i++ {
+		iss.Step()
+	}
+}

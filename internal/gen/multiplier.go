@@ -1,0 +1,279 @@
+package gen
+
+import (
+	"fmt"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// MultiplierConfig parameterises both multiplier representations.
+type MultiplierConfig struct {
+	N          int          // operand width in bits (paper: 16)
+	InPeriod   circuit.Time // new operands every InPeriod ticks
+	Seed       int64        // stimulus seed
+	GateDelay  circuit.Time // delay of each gate (default 1)
+	BlockDelay circuit.Time // delay of each functional block (default 2)
+	// Gray switches the stimulus from fresh random vectors to a Gray-code
+	// walk: one operand bit changes per period, the low-activity profile
+	// typical of the vector suites the paper's availability statistics
+	// describe.
+	Gray bool
+}
+
+// DefaultMultiplier is the paper's 16-bit multiplier with operands changing
+// every 256 ticks, long enough for the deepest gate-level path to settle.
+func DefaultMultiplier() MultiplierConfig {
+	return MultiplierConfig{N: 16, InPeriod: 256, Seed: 7, GateDelay: 1, BlockDelay: 2}
+}
+
+func (cfg *MultiplierConfig) fill() {
+	if cfg.GateDelay == 0 {
+		cfg.GateDelay = 1
+	}
+	if cfg.BlockDelay == 0 {
+		cfg.BlockDelay = 2
+	}
+	if cfg.InPeriod == 0 {
+		cfg.InPeriod = 256
+	}
+	if cfg.N < 2 || cfg.N > 30 {
+		panic("gen: multiplier width out of range [2,30]")
+	}
+}
+
+// stimulus attaches the operand generators.
+func (cfg *MultiplierConfig) stimulus(b *circuit.Builder, a, bb circuit.NodeID) {
+	if cfg.Gray {
+		b.AddElement(circuit.KindGray, "agen", 1, []circuit.NodeID{a}, nil,
+			circuit.Params{Period: cfg.InPeriod, Seed: cfg.Seed})
+		b.AddElement(circuit.KindGray, "bgen", 1, []circuit.NodeID{bb}, nil,
+			circuit.Params{Period: cfg.InPeriod * 8, Seed: cfg.Seed + 9})
+		return
+	}
+	b.Rand("agen", a, cfg.InPeriod, cfg.Seed)
+	b.Rand("bgen", bb, cfg.InPeriod, cfg.Seed+1)
+}
+
+// cells is a tiny gate-level standard-cell library over a Builder: it
+// gensyms node and element names and builds NAND-decomposed adder cells.
+type cells struct {
+	b     *circuit.Builder
+	delay circuit.Time
+	n     int
+}
+
+func (l *cells) fresh() circuit.NodeID {
+	l.n++
+	return l.b.Bit(fmt.Sprintf("w%d", l.n))
+}
+
+func (l *cells) gate(kind circuit.Kind, ins ...circuit.NodeID) circuit.NodeID {
+	out := l.fresh()
+	l.b.Gate(kind, fmt.Sprintf("g%d", l.n), l.delay, out, ins...)
+	return out
+}
+
+// xorShare returns a XOR b built from four NANDs, along with the shared
+// NAND(a, b) term that adder carry logic reuses.
+func (l *cells) xorShare(a, b circuit.NodeID) (axb, nandAB circuit.NodeID) {
+	nandAB = l.gate(circuit.KindNand, a, b)
+	x2 := l.gate(circuit.KindNand, a, nandAB)
+	x3 := l.gate(circuit.KindNand, b, nandAB)
+	axb = l.gate(circuit.KindNand, x2, x3)
+	return axb, nandAB
+}
+
+// fullAdder builds a 10-NAND full adder.
+func (l *cells) fullAdder(a, b, cin circuit.NodeID) (sum, cout circuit.NodeID) {
+	axb, nandAB := l.xorShare(a, b)
+	sum, nandXC := l.xorShare(axb, cin)
+	cout = l.gate(circuit.KindNand, nandAB, nandXC)
+	return sum, cout
+}
+
+// halfAdder builds a 6-gate half adder.
+func (l *cells) halfAdder(a, b circuit.NodeID) (sum, cout circuit.NodeID) {
+	axb, nandAB := l.xorShare(a, b)
+	cout = l.gate(circuit.KindNot, nandAB)
+	return axb, cout
+}
+
+// GateMultiplier builds an NxN unsigned array multiplier out of two-input
+// gates: N^2 partial-product ANDs feeding N-1 rows of NAND-decomposed
+// ripple-carry adder cells. For N=16 this is ~2800 elements; the paper's
+// count of "about 5000" for its 16-bit multiplier reflects a less shared
+// cell decomposition, with the same array structure and activity pattern.
+//
+// Interface nodes: "a" and "b" (N-bit operands, random vectors every
+// InPeriod ticks) and "p" (2N-bit product).
+func GateMultiplier(cfg MultiplierConfig) *circuit.Circuit {
+	cfg.fill()
+	n := cfg.N
+	b := circuit.NewBuilder(fmt.Sprintf("mult%d-gate", n))
+	l := &cells{b: b, delay: cfg.GateDelay}
+
+	a := b.Node("a", n)
+	bb := b.Node("b", n)
+	cfg.stimulus(b, a, bb)
+
+	// Bit extraction.
+	abit := make([]circuit.NodeID, n)
+	bbit := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		abit[i] = b.Bit(fmt.Sprintf("a%d", i))
+		b.AddElement(circuit.KindSlice, fmt.Sprintf("sa%d", i), cfg.GateDelay,
+			[]circuit.NodeID{abit[i]}, []circuit.NodeID{a}, circuit.Params{Lo: i})
+		bbit[i] = b.Bit(fmt.Sprintf("b%d", i))
+		b.AddElement(circuit.KindSlice, fmt.Sprintf("sb%d", i), cfg.GateDelay,
+			[]circuit.NodeID{bbit[i]}, []circuit.NodeID{bb}, circuit.Params{Lo: i})
+	}
+
+	// Partial products pp[i][j] = a[j] AND b[i], weight i+j.
+	pp := make([][]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]circuit.NodeID, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = l.gate(circuit.KindAnd, abit[j], bbit[i])
+		}
+	}
+
+	// Row accumulation: sum[j] holds weight i+j entering row i; rowCout is
+	// the carry out of the previous row (weight i+n-1 entering row i).
+	prod := make([]circuit.NodeID, 2*n)
+	sum := append([]circuit.NodeID(nil), pp[0]...)
+	var rowCout circuit.NodeID = -1
+	for i := 1; i < n; i++ {
+		prod[i-1] = sum[0]
+		next := make([]circuit.NodeID, n)
+		var carry circuit.NodeID
+		for j := 0; j < n; j++ {
+			var addend circuit.NodeID
+			if j < n-1 {
+				addend = sum[j+1]
+			} else if rowCout >= 0 {
+				addend = rowCout
+			} else {
+				zero := b.Bit(fmt.Sprintf("z%d", i))
+				b.Const(fmt.Sprintf("zc%d", i), zero, logic.V(1, 0))
+				addend = zero
+			}
+			if j == 0 {
+				next[j], carry = l.halfAdder(pp[i][j], addend)
+			} else {
+				next[j], carry = l.fullAdder(pp[i][j], addend, carry)
+			}
+		}
+		sum = next
+		rowCout = carry
+	}
+	prod[n-1] = sum[0]
+	for j := 1; j < n; j++ {
+		prod[n-1+j] = sum[j]
+	}
+	prod[2*n-1] = rowCout
+
+	// Reassemble the product bus for observation and cross-checking.
+	p := b.Node("p", 2*n)
+	acc := prod[0]
+	width := 1
+	for i := 1; i < 2*n; i++ {
+		var out circuit.NodeID
+		if i == 2*n-1 {
+			out = p
+		} else {
+			out = b.Node(fmt.Sprintf("pacc%d", i), width+1)
+		}
+		b.AddElement(circuit.KindConcat, fmt.Sprintf("pc%d", i), cfg.GateDelay,
+			[]circuit.NodeID{out}, []circuit.NodeID{acc, prod[i]}, circuit.Params{})
+		acc = out
+		width++
+	}
+	return b.MustBuild()
+}
+
+// FuncMultiplier builds the same multiplier at the functional level the
+// paper describes: "there are inverters, 8-bit adders, and 3-bit
+// multipliers" and about 100 elements. Operands are split into 3-bit
+// chunks, multiplied pairwise by KindMul blocks, aligned with shift/extend
+// glue and summed by an adder tree.
+//
+// Interface nodes match GateMultiplier: "a", "b" (N bits), "p" (2N bits).
+func FuncMultiplier(cfg MultiplierConfig) *circuit.Circuit {
+	cfg.fill()
+	n := cfg.N
+	const chunk = 3
+	b := circuit.NewBuilder(fmt.Sprintf("mult%d-func", n))
+
+	a := b.Node("a", n)
+	bb := b.Node("b", n)
+	cfg.stimulus(b, a, bb)
+
+	wide := 2 * n
+	// Split operands into 3-bit (or smaller tail) chunks.
+	split := func(src circuit.NodeID, tag string) []circuit.NodeID {
+		var parts []circuit.NodeID
+		for lo := 0; lo < n; lo += chunk {
+			w := chunk
+			if lo+w > n {
+				w = n - lo
+			}
+			out := b.Node(fmt.Sprintf("%s_c%d", tag, lo/chunk), w)
+			b.AddElement(circuit.KindSlice, fmt.Sprintf("sp_%s%d", tag, lo/chunk),
+				cfg.BlockDelay, []circuit.NodeID{out}, []circuit.NodeID{src},
+				circuit.Params{Lo: lo})
+			parts = append(parts, out)
+		}
+		return parts
+	}
+	as := split(a, "a")
+	bs := split(bb, "b")
+
+	// Partial products: chunk_i(a) * chunk_j(b), shifted into place.
+	var terms []circuit.NodeID
+	for i, ac := range as {
+		for j, bc := range bs {
+			wa := b.Width(ac)
+			wb := b.Width(bc)
+			ppw := wa + wb
+			pp := b.Node(fmt.Sprintf("pp%d_%d", i, j), ppw)
+			b.AddElement(circuit.KindMul, fmt.Sprintf("mul%d_%d", i, j),
+				cfg.BlockDelay, []circuit.NodeID{pp}, []circuit.NodeID{ac, bc},
+				circuit.Params{})
+			ext := b.Node(fmt.Sprintf("ppx%d_%d", i, j), wide)
+			b.AddElement(circuit.KindExt, fmt.Sprintf("ext%d_%d", i, j),
+				cfg.BlockDelay, []circuit.NodeID{ext}, []circuit.NodeID{pp},
+				circuit.Params{})
+			shifted := b.Node(fmt.Sprintf("pps%d_%d", i, j), wide)
+			b.AddElement(circuit.KindShlK, fmt.Sprintf("shl%d_%d", i, j),
+				cfg.BlockDelay, []circuit.NodeID{shifted}, []circuit.NodeID{ext},
+				circuit.Params{Shift: chunk * (i + j)})
+			terms = append(terms, shifted)
+		}
+	}
+
+	// Balanced adder tree.
+	level := 0
+	for len(terms) > 1 {
+		var next []circuit.NodeID
+		for i := 0; i+1 < len(terms); i += 2 {
+			out := b.Node(fmt.Sprintf("s%d_%d", level, i/2), wide)
+			b.AddElement(circuit.KindAdd, fmt.Sprintf("add%d_%d", level, i/2),
+				cfg.BlockDelay, []circuit.NodeID{out},
+				[]circuit.NodeID{terms[i], terms[i+1]}, circuit.Params{})
+			next = append(next, out)
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+		level++
+	}
+
+	// The tree already produces the full 2N-bit product; a buffer presents
+	// it on the interface node (the paper's functional netlists used
+	// inverter glue the same way).
+	p := b.Node("p", wide)
+	b.Gate(circuit.KindBuf, "pbuf", cfg.BlockDelay, p, terms[0])
+	return b.MustBuild()
+}

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// RandomCircuit builds a pseudo-random sequential circuit of roughly size
+// elements for differential testing of the simulators: every simulator must
+// produce identical node histories on any circuit this returns, including
+// ones with combinational feedback loops.
+//
+// Structure: a handful of clock/random generators feed a soup of 1-bit
+// gates, muxes, latches and flip-flops. Each non-generator node i is driven
+// by element i; inputs are drawn mostly from earlier nodes but with a small
+// probability from later ones, creating feedback paths of arbitrary length
+// (legal here because every element has delay >= 1).
+func RandomCircuit(seed int64, size int) *circuit.Circuit {
+	return randomCircuit(seed, size, 3)
+}
+
+// RandomUnitCircuit is RandomCircuit with every element at delay 1, the
+// precondition for compiled-mode cross-checking.
+func RandomUnitCircuit(seed int64, size int) *circuit.Circuit {
+	return randomCircuit(seed, size, 1)
+}
+
+func randomCircuit(seed int64, size, maxDelay int) *circuit.Circuit {
+	if size < 4 {
+		panic("gen: random circuit needs size >= 4")
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder(fmt.Sprintf("random-%d-%d", seed, size))
+
+	nGen := 3 + r.Intn(3)
+	total := nGen + size
+	nodes := make([]circuit.NodeID, total)
+	for i := range nodes {
+		nodes[i] = b.Bit(fmt.Sprintf("n%d", i))
+	}
+
+	// Generators drive the first nGen nodes.
+	clk := nodes[0]
+	b.Clock("gen0", clk, circuit.Time(4+2*r.Intn(6)), circuit.Time(r.Intn(5)), 0)
+	for i := 1; i < nGen; i++ {
+		switch r.Intn(3) {
+		case 0:
+			b.Clock(fmt.Sprintf("gen%d", i), nodes[i],
+				circuit.Time(2+2*r.Intn(8)), circuit.Time(r.Intn(7)), 0)
+		case 1:
+			b.Rand(fmt.Sprintf("gen%d", i), nodes[i], circuit.Time(1+r.Intn(9)), seed+int64(i))
+		default:
+			b.Const(fmt.Sprintf("gen%d", i), nodes[i], logic.V(1, uint64(r.Intn(2))))
+		}
+	}
+
+	pick := func(i int) circuit.NodeID {
+		// 6% feedback to any node, otherwise an earlier node (biased to
+		// recent ones so the circuit has depth).
+		if r.Intn(100) < 6 {
+			return nodes[r.Intn(total)]
+		}
+		lo := 0
+		if i > 20 && r.Intn(2) == 0 {
+			lo = i - 20
+		}
+		return nodes[lo+r.Intn(i-lo)]
+	}
+
+	gateKinds := []circuit.Kind{
+		circuit.KindNot, circuit.KindBuf, circuit.KindAnd, circuit.KindOr,
+		circuit.KindNand, circuit.KindNor, circuit.KindXor, circuit.KindXnor,
+	}
+	for i := nGen; i < total; i++ {
+		out := nodes[i]
+		name := fmt.Sprintf("e%d", i)
+		delay := circuit.Time(1 + r.Intn(maxDelay))
+		switch r.Intn(10) {
+		case 0: // flip-flop clocked from the main clock
+			b.AddElement(circuit.KindDFF, name, delay,
+				[]circuit.NodeID{out}, []circuit.NodeID{clk, pick(i)}, circuit.Params{})
+		case 1: // resettable flip-flop, reset wired to a random signal
+			b.AddElement(circuit.KindDFFR, name, delay,
+				[]circuit.NodeID{out}, []circuit.NodeID{clk, pick(i), pick(i)},
+				circuit.Params{Init: logic.V(1, 0)})
+		case 2: // transparent latch
+			b.AddElement(circuit.KindLatch, name, delay,
+				[]circuit.NodeID{out}, []circuit.NodeID{pick(i), pick(i)}, circuit.Params{})
+		case 3: // mux
+			b.AddElement(circuit.KindMux2, name, delay,
+				[]circuit.NodeID{out}, []circuit.NodeID{pick(i), pick(i), pick(i)},
+				circuit.Params{})
+		default: // gate with 1-3 inputs
+			kind := gateKinds[r.Intn(len(gateKinds))]
+			nIn := 1
+			if kind != circuit.KindNot && kind != circuit.KindBuf {
+				nIn = 2 + r.Intn(2)
+			}
+			ins := make([]circuit.NodeID, nIn)
+			for j := range ins {
+				ins[j] = pick(i)
+			}
+			b.Gate(kind, name, delay, out, ins...)
+		}
+	}
+	return b.MustBuild()
+}

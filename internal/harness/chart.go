@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chart markers, one per series, in order.
+var chartMarkers = []byte{'*', '+', 'x', 'o', '#', '@', '%', '&'}
+
+// Chart renders the figure's series as an ASCII scatter plot roughly width
+// by height characters, with axes, y-grid labels and a legend — a terminal
+// stand-in for the paper's hand-drawn speed-up plots. An "ideal" y = x
+// diagonal is drawn with dots when the figure plots speed-up against
+// processors, matching the dotted ideal line in every figure of the paper.
+func (f *Figure) Chart(width, height int) string {
+	if len(f.Series) == 0 || width < 20 || height < 5 {
+		return ""
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX <= minX || maxY <= 0 {
+		return ""
+	}
+	maxY = math.Ceil(maxY)
+
+	plotW := width - 8 // room for y labels and axis
+	plotH := height
+	grid := make([][]byte, plotH)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+	toCol := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(plotW-1))
+		return clamp(c, 0, plotW-1)
+	}
+	toRow := func(y float64) int {
+		r := plotH - 1 - int(y/maxY*float64(plotH-1))
+		return clamp(r, 0, plotH-1)
+	}
+
+	// The ideal y = x diagonal, when the axes share units (speed-up vs P).
+	if f.XLabel == "P" {
+		for x := minX; x <= math.Min(maxX, maxY); x++ {
+			grid[toRow(x)][toCol(x)] = '.'
+		}
+	}
+	for si, s := range f.Series {
+		m := chartMarkers[si%len(chartMarkers)]
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s\n", f.YLabel, f.XLabel)
+	for r := 0; r < plotH; r++ {
+		yVal := (1 - float64(r)/float64(plotH-1)) * maxY
+		label := "      "
+		// Label roughly five horizontal gridlines.
+		if r%((plotH+4)/5) == 0 || r == plotH-1 {
+			label = fmt.Sprintf("%6.1f", yVal)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", plotW))
+	fmt.Fprintf(&b, "        %-*g%*g\n", plotW/2, minX, plotW-plotW/2, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "        %c %s\n", chartMarkers[si%len(chartMarkers)], s.Name)
+	}
+	if f.XLabel == "P" {
+		fmt.Fprintln(&b, "        . ideal")
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

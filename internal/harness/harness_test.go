@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickModel() Config {
+	cfg := DefaultConfig(Model)
+	cfg.Quick = true
+	cfg.MaxP = 8
+	return cfg
+}
+
+func TestAllModelExperimentsGenerate(t *testing.T) {
+	cfg := quickModel()
+	for _, id := range IDs() {
+		f, err := Generate(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(f.Series) == 0 {
+			t.Errorf("%s: no series", id)
+		}
+		out := f.Format()
+		if !strings.Contains(out, strings.ToUpper(id)) {
+			t.Errorf("%s: format missing id:\n%s", id, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Generate("fig9", quickModel()); err == nil {
+		t.Error("fig9 accepted")
+	}
+}
+
+func TestModelShapesMatchPaper(t *testing.T) {
+	cfg := DefaultConfig(Model)
+	cfg.Quick = true
+
+	// Fig. 5: async above event-driven at 16 processors, both growing.
+	f, err := Generate("fig5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, as := f.Series[0], f.Series[1]
+	edTop, asTop := ed.Y[len(ed.Y)-1], as.Y[len(as.Y)-1]
+	if asTop <= edTop {
+		t.Errorf("async %0.2f not above event-driven %0.2f at max P", asTop, edTop)
+	}
+	if edTop < 5 || edTop > 12 {
+		t.Errorf("event-driven top speed-up %.2f outside paper band", edTop)
+	}
+	if asTop < 9 || asTop > 16 {
+		t.Errorf("async top speed-up %.2f outside paper band", asTop)
+	}
+
+	// T1: every ratio in [1, 3.5].
+	f, err = Generate("t1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		if r := s.Y[0]; r < 1 || r > 3.5 {
+			t.Errorf("t1 %s ratio %.2f outside [1, 3.5]", s.Name, r)
+		}
+	}
+
+	// T2: central queue ceiling ~2, distributed well above.
+	f, err = Generate("t2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var central, dist Series
+	for _, s := range f.Series {
+		switch s.Name {
+		case "central":
+			central = s
+		case "distributed":
+			dist = s
+		}
+	}
+	for _, y := range central.Y {
+		if y > 2.6 {
+			t.Errorf("central speed-up %.2f above the ~2 ceiling", y)
+		}
+	}
+	if top := dist.Y[len(dist.Y)-1]; top < 2*central.Y[len(central.Y)-1] {
+		t.Errorf("distributed %.2f not clearly above central", top)
+	}
+
+	// T4: feedback chain stuck near 1.
+	f, err = Generate("t4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range f.Series[0].Y {
+		if y > 1.6 {
+			t.Errorf("feedback chain speed-up %.2f; should stay near 1", y)
+		}
+	}
+}
+
+func TestRealModeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-mode timing in -short")
+	}
+	cfg := DefaultConfig(Real)
+	cfg.Quick = true
+	cfg.MaxP = 2
+	cfg.SpinScale = 20
+	f, err := Generate("fig5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock numbers are noisy; only sanity-check structure.
+	for _, s := range f.Series {
+		if len(s.Y) == 0 || s.Y[0] <= 0 {
+			t.Errorf("series %s empty or nonpositive", s.Name)
+		}
+	}
+}
+
+func TestProcSweep(t *testing.T) {
+	ps := procSweep(16)
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16}
+	if len(ps) != len(want) {
+		t.Fatalf("sweep = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("sweep = %v", ps)
+		}
+	}
+	if got := procSweep(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("sweep(1) = %v", got)
+	}
+}
+
+func TestFormatAlignment(t *testing.T) {
+	f := &Figure{
+		ID: "test", Title: "t", XLabel: "P",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{1, 1.5}},
+			{Name: "b", X: []float64{2}, Y: []float64{3}},
+		},
+		Notes: []string{"hello"},
+	}
+	out := f.Format()
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for absent point")
+	}
+	if !strings.Contains(out, "note: hello") {
+		t.Error("missing note")
+	}
+}
+
+func TestChart(t *testing.T) {
+	f := &Figure{
+		ID: "c", Title: "t", XLabel: "P", YLabel: "speed-up",
+		Series: []Series{
+			{Name: "alpha", X: []float64{1, 2, 4, 8}, Y: []float64{1, 1.9, 3.5, 6}},
+			{Name: "beta", X: []float64{1, 2, 4, 8}, Y: []float64{1, 1.5, 2, 2.2}},
+		},
+	}
+	out := f.Chart(60, 12)
+	for _, want := range []string{"speed-up vs P", "*", "+", "alpha", "beta", "ideal", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 15 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+	// Degenerate inputs must not panic and return empty.
+	if (&Figure{}).Chart(60, 12) != "" {
+		t.Error("empty figure should render nothing")
+	}
+	flat := &Figure{Series: []Series{{Name: "f", X: []float64{1}, Y: []float64{0}}}}
+	if flat.Chart(60, 12) != "" {
+		t.Error("zero-range figure should render nothing")
+	}
+}

@@ -1,0 +1,507 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{L: "0", H: "1", X: "x", Z: "z"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+	if got := State(9).String(); got != "State(9)" {
+		t.Errorf("invalid state formatted as %q", got)
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	if !L.Valid() || !H.Valid() || !X.Valid() || !Z.Valid() {
+		t.Error("defined states must be Valid")
+	}
+	if State(4).Valid() {
+		t.Error("State(4) must not be Valid")
+	}
+	if !L.IsKnown() || !H.IsKnown() {
+		t.Error("L and H are known")
+	}
+	if X.IsKnown() || Z.IsKnown() {
+		t.Error("X and Z are not known")
+	}
+}
+
+func TestVConstruction(t *testing.T) {
+	v := V(4, 0b1010)
+	if v.Width() != 4 {
+		t.Fatalf("width = %d, want 4", v.Width())
+	}
+	want := []State{L, H, L, H}
+	for i, s := range want {
+		if got := v.Bit(i); got != s {
+			t.Errorf("bit %d = %v, want %v", i, got, s)
+		}
+	}
+	if u := v.MustUint(); u != 0b1010 {
+		t.Errorf("MustUint = %d, want 10", u)
+	}
+}
+
+func TestVTruncatesHighBits(t *testing.T) {
+	v := V(4, 0xff)
+	if u := v.MustUint(); u != 0xf {
+		t.Errorf("V(4, 0xff) = %d, want 15", u)
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("V(%d, 0) did not panic", w)
+				}
+			}()
+			V(w, 0)
+		}()
+	}
+}
+
+func TestAllXAllZ(t *testing.T) {
+	x := AllX(3)
+	z := AllZ(3)
+	for i := 0; i < 3; i++ {
+		if x.Bit(i) != X {
+			t.Errorf("AllX bit %d = %v", i, x.Bit(i))
+		}
+		if z.Bit(i) != Z {
+			t.Errorf("AllZ bit %d = %v", i, z.Bit(i))
+		}
+	}
+	if x.IsKnown() || z.IsKnown() {
+		t.Error("AllX/AllZ must not be known")
+	}
+	if !z.HasZ() || x.HasZ() {
+		t.Error("HasZ wrong")
+	}
+	if _, ok := x.Uint(); ok {
+		t.Error("Uint on AllX must fail")
+	}
+}
+
+func TestFromStateRoundTrip(t *testing.T) {
+	for _, s := range []State{L, H, X, Z} {
+		if got := FromState(s).State(); got != s {
+			t.Errorf("FromState(%v).State() = %v", s, got)
+		}
+	}
+}
+
+func TestFromStatesRoundTrip(t *testing.T) {
+	states := []State{H, L, X, Z, H, H}
+	v := FromStates(states)
+	for i, want := range states {
+		if got := v.Bit(i); got != want {
+			t.Errorf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{V(1, 1), "1'b1"},
+		{V(4, 0b1010), "4'b1010"},
+		{V(8, 0xAB), "8'hab"},
+		{FromStates([]State{X, Z, H, L}), "4'b01zx"},
+		{AllX(2), "2'bxx"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// truth tables for the scalar view of gate operations.
+func TestNotTruthTable(t *testing.T) {
+	cases := map[State]State{L: H, H: L, X: X, Z: X}
+	for in, want := range cases {
+		if got := FromState(in).Not().State(); got != want {
+			t.Errorf("Not(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAndTruthTable(t *testing.T) {
+	// Controlling value: 0 AND anything = 0.
+	tab := map[[2]State]State{
+		{L, L}: L, {L, H}: L, {L, X}: L, {L, Z}: L,
+		{H, L}: L, {H, H}: H, {H, X}: X, {H, Z}: X,
+		{X, L}: L, {X, H}: X, {X, X}: X, {X, Z}: X,
+		{Z, L}: L, {Z, H}: X, {Z, X}: X, {Z, Z}: X,
+	}
+	for in, want := range tab {
+		got := FromState(in[0]).And(FromState(in[1])).State()
+		if got != want {
+			t.Errorf("And(%v,%v) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+}
+
+func TestOrTruthTable(t *testing.T) {
+	tab := map[[2]State]State{
+		{L, L}: L, {L, H}: H, {L, X}: X, {L, Z}: X,
+		{H, L}: H, {H, H}: H, {H, X}: H, {H, Z}: H,
+		{X, L}: X, {X, H}: H, {X, X}: X, {X, Z}: X,
+		{Z, L}: X, {Z, H}: H, {Z, X}: X, {Z, Z}: X,
+	}
+	for in, want := range tab {
+		got := FromState(in[0]).Or(FromState(in[1])).State()
+		if got != want {
+			t.Errorf("Or(%v,%v) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+}
+
+func TestXorTruthTable(t *testing.T) {
+	tab := map[[2]State]State{
+		{L, L}: L, {L, H}: H, {H, L}: H, {H, H}: L,
+		{L, X}: X, {X, H}: X, {Z, L}: X, {H, Z}: X, {X, Z}: X,
+	}
+	for in, want := range tab {
+		got := FromState(in[0]).Xor(FromState(in[1])).State()
+		if got != want {
+			t.Errorf("Xor(%v,%v) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+}
+
+func TestDerivedGates(t *testing.T) {
+	a, b := FromState(H), FromState(H)
+	if a.Nand(b).State() != L {
+		t.Error("Nand(1,1) != 0")
+	}
+	if a.Nor(b).State() != L {
+		t.Error("Nor(1,1) != 0")
+	}
+	if a.Xnor(b).State() != H {
+		t.Error("Xnor(1,1) != 1")
+	}
+}
+
+func TestBitwiseOnBuses(t *testing.T) {
+	a := V(8, 0b11001010)
+	b := V(8, 0b10011001)
+	if got := a.And(b).MustUint(); got != 0b10001000 {
+		t.Errorf("And = %08b", got)
+	}
+	if got := a.Or(b).MustUint(); got != 0b11011011 {
+		t.Errorf("Or = %08b", got)
+	}
+	if got := a.Xor(b).MustUint(); got != 0b01010011 {
+		t.Errorf("Xor = %08b", got)
+	}
+	if got := a.Not().MustUint(); got != 0b00110101 {
+		t.Errorf("Not = %08b", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := V(8, 200), V(8, 100)
+	if got := a.Add(b).MustUint(); got != 44 { // 300 mod 256
+		t.Errorf("Add = %d, want 44", got)
+	}
+	if got := a.Sub(b).MustUint(); got != 100 {
+		t.Errorf("Sub = %d, want 100", got)
+	}
+	if got := b.Sub(a).MustUint(); got != 156 { // -100 mod 256
+		t.Errorf("Sub = %d, want 156", got)
+	}
+	if !a.Add(AllX(8)).Equal(AllX(8)) {
+		t.Error("Add with X operand must poison")
+	}
+	if got := Mul(V(8, 20), V(8, 13), 16).MustUint(); got != 260 {
+		t.Errorf("Mul = %d, want 260", got)
+	}
+	if !Mul(AllX(4), V(4, 3), 8).Equal(AllX(8)) {
+		t.Error("Mul with X operand must poison")
+	}
+}
+
+func TestAddCarry(t *testing.T) {
+	sum, cout := V(4, 9).AddCarry(V(4, 8), V(1, 0))
+	if sum.MustUint() != 1 || cout.MustUint() != 1 {
+		t.Errorf("9+8 = %v carry %v", sum, cout)
+	}
+	sum, cout = V(4, 7).AddCarry(V(4, 7), V(1, 1))
+	if sum.MustUint() != 15 || cout.MustUint() != 0 {
+		t.Errorf("7+7+1 = %v carry %v", sum, cout)
+	}
+	sum, cout = V(64, ^uint64(0)).AddCarry(V(64, 0), V(1, 1))
+	if sum.MustUint() != 0 || cout.MustUint() != 1 {
+		t.Errorf("64-bit overflow: %v carry %v", sum, cout)
+	}
+	sum, cout = V(64, ^uint64(0)).AddCarry(V(64, 1), V(1, 0))
+	if sum.MustUint() != 0 || cout.MustUint() != 1 {
+		t.Errorf("64-bit overflow b: %v carry %v", sum, cout)
+	}
+	sum, _ = AllX(4).AddCarry(V(4, 1), V(1, 0))
+	if !sum.Equal(AllX(4)) {
+		t.Error("AddCarry with X must poison")
+	}
+}
+
+func TestEq(t *testing.T) {
+	if V(4, 5).Eq(V(4, 5)).State() != H {
+		t.Error("5 == 5 must be 1")
+	}
+	if V(4, 5).Eq(V(4, 6)).State() != L {
+		t.Error("5 == 6 must be 0")
+	}
+	// Known disagreement dominates X.
+	a := FromStates([]State{L, X, X, X})
+	b := FromStates([]State{H, X, X, X})
+	if a.Eq(b).State() != L {
+		t.Error("provably different values must compare 0")
+	}
+	c := FromStates([]State{L, X, L, L})
+	d := FromStates([]State{L, H, L, L})
+	if c.Eq(d).State() != X {
+		t.Error("possibly equal values must compare X")
+	}
+}
+
+func TestMux(t *testing.T) {
+	a, b := V(4, 0b0011), V(4, 0b0101)
+	if got := Mux(V(1, 0), a, b); !got.Equal(a) {
+		t.Errorf("Mux(0) = %v", got)
+	}
+	if got := Mux(V(1, 1), a, b); !got.Equal(b) {
+		t.Errorf("Mux(1) = %v", got)
+	}
+	got := Mux(AllX(1), a, b)
+	// Bits where a and b agree (bit 0 = 1) stay; others X.
+	if got.Bit(0) != H {
+		t.Errorf("Mux(x) bit0 = %v, want 1", got.Bit(0))
+	}
+	if got.Bit(1) != X || got.Bit(2) != X {
+		t.Error("Mux(x) disagreeing bits must be X")
+	}
+	if got.Bit(3) != L {
+		t.Errorf("Mux(x) bit3 = %v, want 0", got.Bit(3))
+	}
+}
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		a, b, want State
+	}{
+		{Z, Z, Z}, {Z, L, L}, {Z, H, H}, {Z, X, X},
+		{L, Z, L}, {L, L, L}, {L, H, X}, {H, H, H}, {X, H, X},
+	}
+	for _, c := range cases {
+		got := Resolve(FromState(c.a), FromState(c.b)).State()
+		if got != c.want {
+			t.Errorf("Resolve(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSliceConcat(t *testing.T) {
+	v := V(8, 0xA5)
+	lo := v.Slice(0, 4)
+	hi := v.Slice(4, 4)
+	if lo.MustUint() != 0x5 || hi.MustUint() != 0xA {
+		t.Fatalf("slices = %v %v", lo, hi)
+	}
+	if got := lo.Concat(hi); !got.Equal(v) {
+		t.Errorf("Concat = %v, want %v", got, v)
+	}
+	z := FromStates([]State{Z, H, X, L})
+	if got := z.Slice(1, 2); got.Bit(0) != H || got.Bit(1) != X {
+		t.Errorf("slice of mixed states = %v", got)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	v := V(4, 0b1011)
+	if got := v.Extend(8); got.MustUint() != 0b1011 || got.Width() != 8 {
+		t.Errorf("Extend(8) = %v", got)
+	}
+	if got := v.Extend(2); got.MustUint() != 0b11 {
+		t.Errorf("Extend(2) = %v", got)
+	}
+	x := AllX(4)
+	if got := x.Extend(8); got.Bit(3) != X || got.Bit(4) != L {
+		t.Errorf("Extend of X = %v", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	if V(4, 0xF).ReduceAnd().State() != H {
+		t.Error("ReduceAnd(1111) != 1")
+	}
+	if V(4, 0xE).ReduceAnd().State() != L {
+		t.Error("ReduceAnd(1110) != 0")
+	}
+	if FromStates([]State{H, H, X, H}).ReduceAnd().State() != X {
+		t.Error("ReduceAnd(11x1) != x")
+	}
+	if FromStates([]State{L, L, X, L}).ReduceAnd().State() != L {
+		t.Error("ReduceAnd with known 0 must be 0")
+	}
+	if V(4, 0).ReduceOr().State() != L {
+		t.Error("ReduceOr(0000) != 0")
+	}
+	if FromStates([]State{L, X, L, H}).ReduceOr().State() != H {
+		t.Error("ReduceOr with known 1 must be 1")
+	}
+	if FromStates([]State{L, X, L, L}).ReduceOr().State() != X {
+		t.Error("ReduceOr(00x0) != x")
+	}
+	if V(4, 0b0111).ReduceXor().State() != H {
+		t.Error("ReduceXor(0111) != 1")
+	}
+	if V(4, 0b0110).ReduceXor().State() != L {
+		t.Error("ReduceXor(0110) != 0")
+	}
+	if FromStates([]State{H, X, L, L}).ReduceXor().State() != X {
+		t.Error("ReduceXor with X must be X")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := V(8, 0b00001111)
+	if got := v.ShiftLeft(2).MustUint(); got != 0b00111100 {
+		t.Errorf("ShiftLeft = %08b", got)
+	}
+	if got := v.ShiftRight(2).MustUint(); got != 0b00000011 {
+		t.Errorf("ShiftRight = %08b", got)
+	}
+	if got := v.ShiftLeft(8).MustUint(); got != 0 {
+		t.Errorf("ShiftLeft(width) = %d", got)
+	}
+	if got := v.ShiftRight(100).MustUint(); got != 0 {
+		t.Errorf("ShiftRight(100) = %d", got)
+	}
+	x := AllX(4).ShiftLeft(1)
+	if x.Bit(0) != L || x.Bit(1) != X {
+		t.Errorf("shifted X = %v", x)
+	}
+}
+
+func TestMismatchedWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("And on mismatched widths did not panic")
+		}
+	}()
+	V(4, 0).And(V(5, 0))
+}
+
+// randomValue generates an arbitrary Value of the given width for property
+// tests.
+func randomValue(r *rand.Rand, width int) Value {
+	states := make([]State, width)
+	for i := range states {
+		states[i] = State(r.Intn(4))
+	}
+	return FromStates(states)
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(MaxWidth)
+		a, b := randomValue(r, w), randomValue(r, w)
+		// NOT(a AND b) == NOT(a) OR NOT(b)
+		return a.Nand(b).Equal(a.Not().Or(b.Not()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDoubleNegation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(MaxWidth)
+		a := randomValue(r, w)
+		// Not is an involution on {0,1,X} but maps Z to X; apply readable
+		// first so the domain is closed.
+		ra := a.Not().Not()
+		return ra.Equal(a.Not().Not().Not().Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAndOrAbsorption(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(MaxWidth)
+		a, b := randomValue(r, w), randomValue(r, w)
+		// Commutativity of And / Or / Xor.
+		return a.And(b).Equal(b.And(a)) &&
+			a.Or(b).Equal(b.Or(a)) &&
+			a.Xor(b).Equal(b.Xor(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddMatchesUint(t *testing.T) {
+	f := func(x, y uint64, wRaw uint8) bool {
+		w := int(wRaw%MaxWidth) + 1
+		a, b := V(w, x), V(w, y)
+		want := (x&mask(uint8(w)) + y&mask(uint8(w))) & mask(uint8(w))
+		return a.Add(b).MustUint() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSliceConcatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 2 + r.Intn(MaxWidth-1)
+		v := randomValue(r, w)
+		cut := 1 + r.Intn(w-1)
+		return v.Slice(0, cut).Concat(v.Slice(cut, w-cut)).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResolveCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(MaxWidth)
+		a, b := randomValue(r, w), randomValue(r, w)
+		return Resolve(a, b).Equal(Resolve(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResolveZIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(MaxWidth)
+		a := randomValue(r, w)
+		return Resolve(a, AllZ(w)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

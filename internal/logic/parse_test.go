@@ -1,0 +1,59 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"1'b1", V(1, 1)},
+		{"1'b0", V(1, 0)},
+		{"4'b10xz", FromStates([]State{Z, X, L, H})},
+		{"8'hff", V(8, 255)},
+		{"8'hAB", V(8, 0xab)},
+		{"16'd1234", V(16, 1234)},
+		{"64'hffffffffffffffff", V(64, ^uint64(0))},
+		{"2'bxx", AllX(2)},
+		{"3'bzzz", AllZ(3)},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	bad := []string{
+		"", "'b1", "4b1010", "4'", "4'b", "4'b101", "4'b10102", "4'q1010",
+		"0'b", "65'h0", "4'hff", "4'd16", "x'b1", "4'dxyz", "-1'b1",
+	}
+	for _, s := range bad {
+		if v, err := ParseValue(s); err == nil {
+			t.Errorf("ParseValue(%q) = %v, want error", s, v)
+		}
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(MaxWidth)
+		v := randomValue(r, w)
+		got, err := ParseValue(v.String())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,400 @@
+// Package machine models a P-processor shared-memory machine executing
+// each of the three parallel algorithms, in deterministic abstract cost
+// units. The host running this reproduction has however many cores it has;
+// the paper's Encore Multimax had sixteen. These models regenerate the
+// paper's 1-16 processor speed-up and utilisation curves on any host:
+//
+//   - the synchronous event-driven algorithm is constrained by the per-step
+//     structure of the computation (events available per step) plus barrier
+//     and queue costs — modelled from a sequential run's StepRecords;
+//   - compiled mode is constrained by the static partition's load balance;
+//   - the asynchronous algorithm is constrained only by true event
+//     causality — modelled by greedy list-scheduling of the evaluation DAG
+//     with element affinity, so consecutive evaluations of one element
+//     batch and pay the dispatch overhead once, exactly like the real
+//     algorithm consuming several queued events per activation.
+//
+// Two machine-level effects are modelled as work dilation: a shared-bus
+// contention term that grows with the processor count, and the Encore's
+// pairs-share-a-cache topology above eight processors, which the paper
+// blames for the dip in every figure.
+package machine
+
+import (
+	"container/heap"
+
+	"parsim/internal/circuit"
+	"parsim/internal/partition"
+	"parsim/internal/seq"
+)
+
+// CostModel holds the abstract cost parameters, in units of one inverter
+// evaluation (the paper's yardstick: functional elements cost 1-100
+// inverter-events).
+type CostModel struct {
+	EvalOverhead float64 // scheduling + dispatch cost per evaluation
+	UpdateCost   float64 // applying one node update
+	ScheduleCost float64 // enqueueing one future event or activation
+	BarrierBase  float64 // fixed barrier latency
+	BarrierPerP  float64 // additional barrier latency per processor
+	LockCost     float64 // serialised critical section per central-queue op
+	// BusContention dilates all work by this fraction per additional
+	// processor, modelling shared-memory bandwidth.
+	BusContention float64
+	// CachePairPenalty models the Encore topology: with more than
+	// CacheCards processors, processors are paired onto shared caches and
+	// parallel work slows accordingly. Zero disables it.
+	CachePairPenalty float64
+	CacheCards       int
+}
+
+// DefaultCostModel returns parameters calibrated so the three algorithms
+// land in the paper's reported ranges on the paper's circuits.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EvalOverhead:     3,
+		UpdateCost:       1,
+		ScheduleCost:     1,
+		BarrierBase:      8,
+		BarrierPerP:      2,
+		LockCost:         1.5,
+		BusContention:    0.012,
+		CachePairPenalty: 0.18,
+		CacheCards:       8,
+	}
+}
+
+// Makespan is the outcome of one model run.
+type Makespan struct {
+	Span float64   // total virtual time
+	Busy []float64 // useful work per processor
+}
+
+// Utilization returns total useful work over span x processors.
+func (m Makespan) Utilization() float64 {
+	if m.Span <= 0 || len(m.Busy) == 0 {
+		return 0
+	}
+	var busy float64
+	for _, b := range m.Busy {
+		busy += b
+	}
+	return busy / (m.Span * float64(len(m.Busy)))
+}
+
+// Speedup returns base.Span / m.Span.
+func (m Makespan) Speedup(base Makespan) float64 {
+	if m.Span == 0 {
+		return 0
+	}
+	return base.Span / m.Span
+}
+
+// dilation returns the work multiplier for p processors: bus contention
+// plus cache-card pairing.
+func (cm *CostModel) dilation(p int) float64 {
+	d := 1 + cm.BusContention*float64(p-1)
+	if cm.CachePairPenalty > 0 && cm.CacheCards > 0 && p > cm.CacheCards {
+		paired := p - cm.CacheCards
+		if paired > cm.CacheCards {
+			paired = cm.CacheCards
+		}
+		d *= 1 + cm.CachePairPenalty*float64(2*paired)/float64(p)
+	}
+	return d
+}
+
+// EDMode selects the event-driven work-distribution variant being modelled.
+type EDMode int
+
+// Event-driven model variants, matching parevent's modes.
+const (
+	EDDistributed EDMode = iota
+	EDNoSteal
+	EDCentral
+)
+
+// EventDriven models the synchronous parallel event-driven algorithm over
+// the per-step records of a sequential run.
+func EventDriven(c *circuit.Circuit, steps []seq.StepRecord, p int, mode EDMode, cm CostModel) Makespan {
+	busy := make([]float64, p)
+	var span float64
+	dilate := cm.dilation(p)
+	loads := make([]float64, p)
+	for si := range steps {
+		st := &steps[si]
+		// Update phase: updates are distributed round-robin at schedule
+		// time, so they balance to within one task.
+		updWork := float64(st.Updates) * cm.UpdateCost
+		updTime := updWork / float64(p)
+		if mode == EDCentral {
+			// Every dequeue serialises on the global queue.
+			if serial := float64(st.Updates) * cm.LockCost; serial > updTime {
+				updTime = serial
+			}
+		}
+
+		// Evaluation phase.
+		var totalEval, maxTask float64
+		for i := range loads {
+			loads[i] = 0
+		}
+		for i, e := range st.Evals {
+			cost := cm.EvalOverhead + float64(c.Elems[e].Cost) + cm.ScheduleCost
+			totalEval += cost
+			if cost > maxTask {
+				maxTask = cost
+			}
+			loads[i%p] += cost
+		}
+		var evalTime float64
+		switch mode {
+		case EDDistributed:
+			// Stealing rebalances to the greedy optimum.
+			evalTime = maxF(totalEval/float64(p), maxTask)
+		case EDNoSteal:
+			evalTime = maxFSlice(loads)
+		case EDCentral:
+			evalTime = maxF(totalEval/float64(p),
+				maxF(float64(len(st.Evals))*cm.LockCost, maxTask))
+		}
+
+		work := (updTime + evalTime) * dilate
+		barrier := 0.0
+		if p > 1 {
+			barrier = 2 * (cm.BarrierBase + cm.BarrierPerP*float64(p))
+		}
+		span += work + barrier
+		useful := (updWork + totalEval) / float64(p)
+		for w := 0; w < p; w++ {
+			busy[w] += useful
+		}
+	}
+	return Makespan{Span: span, Busy: busy}
+}
+
+// Compiled models the compiled-mode simulator: every element evaluated
+// every step from a static partition, one barrier per step.
+func Compiled(c *circuit.Circuit, steps int64, p int, strat partition.Strategy, cm CostModel) Makespan {
+	parts := partition.Split(c, p, strat)
+	loads := make([]float64, p)
+	for w, part := range parts {
+		for _, e := range part {
+			loads[w] += float64(c.Elems[e].Cost) + 1 // +1: dispatch is a table walk, not a queue
+		}
+	}
+	maxLoad := maxFSlice(loads)
+	dilate := cm.dilation(p)
+	barrier := 0.0
+	if p > 1 {
+		barrier = cm.BarrierBase + cm.BarrierPerP*float64(p)
+	}
+	stepTime := maxLoad*dilate + barrier
+	busy := make([]float64, p)
+	for w := range busy {
+		busy[w] = loads[w] * float64(steps)
+	}
+	return Makespan{Span: stepTime * float64(steps), Busy: busy}
+}
+
+// Async models the asynchronous algorithm by list-scheduling the
+// evaluation-causality DAG: a task is ready as soon as the evaluations that
+// produced its input events have finished — no barriers, no time steps.
+// Each element's evaluations are chained (its cursors and internal state
+// serialise them). The scheduler mirrors the real algorithm's behaviour:
+//
+//   - a processor first continues with the element it is already holding,
+//     paying no dispatch overhead — this is event batching, one activation
+//     consuming every queued event;
+//   - otherwise it takes the earliest-ready task, unless that task's own
+//     element is still bound to another processor that would finish it
+//     sooner by batching (earliest-finish-time placement).
+func Async(c *circuit.Circuit, g *seq.TaskGraph, p int, cm CostModel) Makespan {
+	n := g.NumTasks()
+	busy := make([]float64, p)
+	if n == 0 {
+		return Makespan{Span: 0, Busy: busy}
+	}
+	dilate := cm.dilation(p)
+
+	// Dependency counts and child lists; same-element chain edges added.
+	ndep := make([]int32, n)
+	children := make([][]int32, n)
+	for i, deps := range g.Deps {
+		ndep[i] = int32(len(deps))
+		for _, d := range deps {
+			children[d] = append(children[d], int32(i))
+		}
+	}
+	lastOfElem := make(map[circuit.ElemID]int32, 256)
+	for i := 0; i < n; i++ {
+		if prev, ok := lastOfElem[g.Elems[i]]; ok {
+			ndep[i]++
+			children[prev] = append(children[prev], int32(i))
+		}
+		lastOfElem[g.Elems[i]] = int32(i)
+	}
+
+	ready := &taskHeap{}
+	readyAt := make([]float64, n)
+	done := make([]bool, n)
+	// Thanks to the chain edges at most one task per element is ready at
+	// any moment, so a processor can find its continuation in O(1).
+	elemReady := make(map[circuit.ElemID]int32, 256)
+	release := func(id int32) {
+		heap.Push(ready, taskAt{at: readyAt[id], id: id})
+		elemReady[g.Elems[id]] = id
+	}
+	for i := 0; i < n; i++ {
+		if ndep[i] == 0 {
+			release(int32(i))
+		}
+	}
+
+	// Processor state: freeAt is authoritative; the heap holds possibly
+	// stale (at, id) entries that are discarded when they disagree.
+	freeAt := make([]float64, p)
+	lastElem := make([]int32, p)
+	for i := range lastElem {
+		lastElem[i] = -1
+	}
+	elemProc := make(map[circuit.ElemID]int, 256)
+	procs := &taskHeap{}
+	for w := 0; w < p; w++ {
+		heap.Push(procs, taskAt{at: 0, id: int32(w)})
+	}
+
+	var span float64
+	scheduled := 0
+	assign := func(task int32, q int, start, cost float64) {
+		e := g.Elems[task]
+		done[task] = true
+		delete(elemReady, e)
+		fin := start + cost
+		freeAt[q] = fin
+		lastElem[q] = int32(e)
+		elemProc[e] = q
+		busy[q] += cost
+		if fin > span {
+			span = fin
+		}
+		for _, ch := range children[task] {
+			if readyAt[ch] < fin {
+				readyAt[ch] = fin
+			}
+			ndep[ch]--
+			if ndep[ch] == 0 {
+				release(ch)
+			}
+		}
+		heap.Push(procs, taskAt{at: fin, id: int32(q)})
+		scheduled++
+	}
+
+	for scheduled < n {
+		pe := heap.Pop(procs).(taskAt)
+		q := int(pe.id)
+		if pe.at != freeAt[q] {
+			continue // stale entry
+		}
+		now := pe.at
+
+		// 1. Continue the element this processor holds: batching.
+		if le := lastElem[q]; le >= 0 {
+			if id, ok := elemReady[circuit.ElemID(le)]; ok && readyAt[id] <= now {
+				cost := (float64(c.Elems[le].Cost) + cm.ScheduleCost) * dilate
+				assign(id, q, now, cost)
+				continue
+			}
+		}
+
+		// 2. Earliest-ready task.
+		for ready.Len() > 0 && done[(*ready)[0].id] {
+			heap.Pop(ready)
+		}
+		if ready.Len() == 0 {
+			// Blocked on tasks running elsewhere: idle to the next event.
+			next := now + 1
+			for procs.Len() > 0 {
+				cand := (*procs)[0]
+				if cand.at != freeAt[cand.id] {
+					heap.Pop(procs)
+					continue
+				}
+				if cand.at > now {
+					next = cand.at
+				}
+				break
+			}
+			freeAt[q] = next
+			heap.Push(procs, taskAt{at: next, id: int32(q)})
+			continue
+		}
+		top := (*ready)[0]
+		if top.at > now {
+			freeAt[q] = top.at
+			heap.Push(procs, taskAt{at: top.at, id: int32(q)})
+			continue
+		}
+		heap.Pop(ready)
+		e := g.Elems[top.id]
+		batch := (float64(c.Elems[e].Cost) + cm.ScheduleCost) * dilate
+		cold := batch + cm.EvalOverhead*dilate
+
+		// Earliest-finish-time: leave the task with its bound processor if
+		// batching there beats running cold here.
+		if owner, ok := elemProc[e]; ok && lastElem[owner] == int32(e) && owner != q {
+			finOwner := maxF(freeAt[owner], top.at) + batch
+			if finOwner <= now+cold {
+				assign(top.id, owner, maxF(freeAt[owner], top.at), batch)
+				// This processor is still free; try again.
+				heap.Push(procs, taskAt{at: freeAt[q], id: int32(q)})
+				continue
+			}
+		}
+		assign(top.id, q, now, cold)
+	}
+	return Makespan{Span: span, Busy: busy}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxFSlice(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// taskAt orders ready tasks by ready time then id (FIFO-ish, deterministic).
+type taskAt struct {
+	at float64
+	id int32
+}
+
+type taskHeap []taskAt
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(taskAt)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,264 @@
+// Package netlist reads and writes the textual circuit interchange format
+// used by the command-line tools.
+//
+// The format is line-oriented:
+//
+//	# comment
+//	circuit <name>
+//	node <name> <width>
+//	elem <kind> <name> [delay=<ticks>] [out=<n,...>] [in=<n,...>] [key=value ...]
+//
+// Kind-specific keys: period, phase, duty, seed (integers); lo, shift
+// (integers); init (a value literal such as 8'hff or 4'b10xz); times
+// (comma-separated integers); values (comma-separated value literals); mem
+// (comma-separated unsigned integers).
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// Write serialises the circuit.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	for i := range c.Nodes {
+		fmt.Fprintf(bw, "node %s %d\n", c.Nodes[i].Name, c.Nodes[i].Width)
+	}
+	for i := range c.Elems {
+		el := &c.Elems[i]
+		fmt.Fprintf(bw, "elem %s %s delay=%d", circuit.KindName(el.Kind), el.Name, el.Delay)
+		if len(el.Out) > 0 {
+			fmt.Fprintf(bw, " out=%s", joinNodes(c, el.Out))
+		}
+		if len(el.In) > 0 {
+			fmt.Fprintf(bw, " in=%s", joinNodes(c, el.In))
+		}
+		writeParams(bw, el)
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func joinNodes(c *circuit.Circuit, ids []circuit.NodeID) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = c.Nodes[id].Name
+	}
+	return strings.Join(names, ",")
+}
+
+func writeParams(w io.Writer, el *circuit.Element) {
+	p := &el.Params
+	switch el.Kind {
+	case circuit.KindConst, circuit.KindDFFR:
+		fmt.Fprintf(w, " init=%s", p.Init)
+	case circuit.KindClock:
+		fmt.Fprintf(w, " period=%d phase=%d duty=%d", p.Period, p.Phase, p.Duty)
+	case circuit.KindRand, circuit.KindGray:
+		fmt.Fprintf(w, " period=%d seed=%d", p.Period, p.Seed)
+	case circuit.KindWave:
+		times := make([]string, len(p.Times))
+		values := make([]string, len(p.Values))
+		for i := range p.Times {
+			times[i] = strconv.FormatInt(int64(p.Times[i]), 10)
+			values[i] = p.Values[i].String()
+		}
+		fmt.Fprintf(w, " times=%s values=%s", strings.Join(times, ","), strings.Join(values, ","))
+	case circuit.KindSlice:
+		fmt.Fprintf(w, " lo=%d", p.Lo)
+	case circuit.KindShlK, circuit.KindShrK:
+		fmt.Fprintf(w, " shift=%d", p.Shift)
+	case circuit.KindRom, circuit.KindRam:
+		if len(p.Mem) > 0 {
+			words := make([]string, len(p.Mem))
+			for i, m := range p.Mem {
+				words[i] = strconv.FormatUint(m, 10)
+			}
+			fmt.Fprintf(w, " mem=%s", strings.Join(words, ","))
+		}
+	}
+}
+
+// Read parses a circuit. The returned circuit has been validated by
+// circuit.Builder.
+func Read(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var b *circuit.Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist:%d: circuit wants one name", lineNo)
+			}
+			if b != nil {
+				return nil, fmt.Errorf("netlist:%d: duplicate circuit line", lineNo)
+			}
+			b = circuit.NewBuilder(fields[1])
+		case "node":
+			if b == nil {
+				return nil, fmt.Errorf("netlist:%d: node before circuit line", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("netlist:%d: node wants name and width", lineNo)
+			}
+			width, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("netlist:%d: bad width %q", lineNo, fields[2])
+			}
+			b.Node(fields[1], width)
+		case "elem":
+			if b == nil {
+				return nil, fmt.Errorf("netlist:%d: elem before circuit line", lineNo)
+			}
+			if err := parseElem(b, fields[1:]); err != nil {
+				return nil, fmt.Errorf("netlist:%d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("netlist:%d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("netlist: no circuit line")
+	}
+	return b.Build()
+}
+
+func parseElem(b *circuit.Builder, fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("elem wants kind and name")
+	}
+	kind, ok := circuit.KindByName(fields[0])
+	if !ok {
+		return fmt.Errorf("unknown element kind %q", fields[0])
+	}
+	name := fields[1]
+	delay := circuit.Time(1)
+	var outs, ins []circuit.NodeID
+	var params circuit.Params
+	for _, f := range fields[2:] {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return fmt.Errorf("bad attribute %q", f)
+		}
+		var err error
+		switch key {
+		case "delay":
+			delay, err = parseTime(val)
+		case "out":
+			outs, err = lookupNodes(b, val)
+		case "in":
+			ins, err = lookupNodes(b, val)
+		case "period":
+			params.Period, err = parseTime(val)
+		case "phase":
+			params.Phase, err = parseTime(val)
+		case "duty":
+			params.Duty, err = parseTime(val)
+		case "seed":
+			params.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "lo":
+			params.Lo, err = strconv.Atoi(val)
+		case "shift":
+			params.Shift, err = strconv.Atoi(val)
+		case "init":
+			params.Init, err = logic.ParseValue(val)
+		case "times":
+			for _, part := range strings.Split(val, ",") {
+				var t circuit.Time
+				if t, err = parseTime(part); err != nil {
+					break
+				}
+				params.Times = append(params.Times, t)
+			}
+		case "values":
+			for _, part := range strings.Split(val, ",") {
+				var v logic.Value
+				if v, err = logic.ParseValue(part); err != nil {
+					break
+				}
+				params.Values = append(params.Values, v)
+			}
+		case "mem":
+			for _, part := range strings.Split(val, ",") {
+				var m uint64
+				if m, err = strconv.ParseUint(part, 10, 64); err != nil {
+					break
+				}
+				params.Mem = append(params.Mem, m)
+			}
+		default:
+			return fmt.Errorf("unknown attribute %q", key)
+		}
+		if err != nil {
+			return fmt.Errorf("attribute %q: %v", f, err)
+		}
+	}
+	b.AddElement(kind, name, delay, outs, ins, params)
+	return nil
+}
+
+func parseTime(s string) (circuit.Time, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	return circuit.Time(v), err
+}
+
+// lookupNodes resolves a comma-separated node-name list; the nodes must
+// have been declared by earlier node lines.
+func lookupNodes(b *circuit.Builder, val string) ([]circuit.NodeID, error) {
+	parts := strings.Split(val, ",")
+	ids := make([]circuit.NodeID, len(parts))
+	for i, p := range parts {
+		id, ok := b.Lookup(p)
+		if !ok {
+			return nil, fmt.Errorf("undeclared node %q", p)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// Summary formats a short human-readable report about a circuit, used by
+// the netlist CLI.
+func Summary(c *circuit.Circuit) string {
+	s := c.Stats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "circuit %s\n", c.Name)
+	fmt.Fprintf(&sb, "  nodes:      %d\n", s.Nodes)
+	fmt.Fprintf(&sb, "  elements:   %d (%d gates, %d functional, %d generators)\n",
+		s.Elements, s.Gates, s.Functional, s.Generators)
+	fmt.Fprintf(&sb, "  max fanout: %d\n", s.MaxFanout)
+	fmt.Fprintf(&sb, "  total cost: %d inverter-units\n", s.TotalCost)
+	kinds := map[string]int{}
+	for i := range c.Elems {
+		kinds[circuit.KindName(c.Elems[i].Kind)]++
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "  %-10s %d\n", k, kinds[k])
+	}
+	return sb.String()
+}

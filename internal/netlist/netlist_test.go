@@ -1,0 +1,154 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/gen"
+	"parsim/internal/seq"
+	"parsim/internal/trace"
+)
+
+// roundTrip serialises and reparses a circuit, then checks the reparsed
+// circuit behaves identically by comparing full simulation histories.
+func roundTrip(t *testing.T, c *circuit.Circuit, horizon circuit.Time) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if c2.Name != c.Name {
+		t.Errorf("name %q != %q", c2.Name, c.Name)
+	}
+	if len(c2.Nodes) != len(c.Nodes) || len(c2.Elems) != len(c.Elems) {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d elems",
+			len(c2.Nodes), len(c.Nodes), len(c2.Elems), len(c.Elems))
+	}
+	r1 := trace.NewRecorder()
+	seq.Run(c, seq.Options{Horizon: horizon, Probe: r1})
+	r2 := trace.NewRecorder()
+	seq.Run(c2, seq.Options{Horizon: horizon, Probe: r2})
+	if d := trace.Diff(c, r1, r2); d != "" {
+		t.Fatalf("round-tripped circuit behaves differently: %s", d)
+	}
+}
+
+func TestRoundTripAllGenerated(t *testing.T) {
+	mcfg := gen.DefaultMultiplier()
+	mcfg.N = 8
+	cases := []struct {
+		c       *circuit.Circuit
+		horizon circuit.Time
+	}{
+		{gen.InverterArray(gen.InverterArrayConfig{Rows: 4, Cols: 4, ActiveRows: 3, TogglePeriod: 2}), 100},
+		{gen.FeedbackChain(7), 200},
+		{gen.FuncMultiplier(gen.DefaultMultiplier()), 300},
+		{gen.GateMultiplier(mcfg), 200},
+		{gen.CPU(gen.DefaultCPU()), 700},
+		{gen.RandomCircuit(3, 50), 150},
+	}
+	for _, tc := range cases {
+		roundTrip(t, tc.c, tc.horizon)
+	}
+}
+
+func TestReadBasic(t *testing.T) {
+	src := `
+# a tiny circuit
+circuit tiny
+node clk 1
+node q 1
+elem clock cg delay=1 out=clk period=10 phase=0 duty=5
+elem not inv delay=2 out=q in=clk
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if c.Name != "tiny" || len(c.Elems) != 2 {
+		t.Fatalf("parsed %v", c)
+	}
+	el := &c.Elems[c.ElByName["inv"]]
+	if el.Kind != circuit.KindNot || el.Delay != 2 {
+		t.Errorf("inv parsed wrong: %+v", el)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"node a 1", "before circuit"},
+		{"circuit x\ncircuit y", "duplicate circuit"},
+		{"circuit x\nnode a", "name and width"},
+		{"circuit x\nnode a 1\nelem bogus e out=a", "unknown element kind"},
+		{"circuit x\nnode a 1\nelem not e out=a in=missing", "undeclared node"},
+		{"circuit x\nnode a 1\nelem not e out=a badattr", "bad attribute"},
+		{"circuit x\nnode a 1\nelem not e out=a wat=1", "unknown attribute"},
+		{"circuit x\nnode a 1\nelem const c out=a init=4'b10", "attribute"},
+		{"circuit x\nwat", "unknown directive"},
+		{"", "no circuit"},
+		{"circuit x\nnode a 1\nelem not", "kind and name"},
+		{"circuit x\nnode a 1\nelem clock cg out=a period=ten", "attribute"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Read(%q) err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestValidationErrorsPropagate(t *testing.T) {
+	// Undriven node must fail circuit validation at Build.
+	src := "circuit x\nnode a 1\nnode b 1\nelem not e out=b in=a"
+	if _, err := Read(strings.NewReader(src)); err == nil ||
+		!strings.Contains(err.Error(), "no driver") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := gen.FeedbackChain(5)
+	s := Summary(c)
+	for _, want := range []string{"feedback-chain-5", "nodes:", "not", "mux2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestWriteIdempotent: write -> read -> write must produce identical bytes,
+// proving the format captures everything the builder needs.
+func TestWriteIdempotent(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		gen.FeedbackChain(9),
+		gen.FuncMultiplier(gen.DefaultMultiplier()),
+		gen.CPU(gen.DefaultCPU()),
+		gen.RandomCircuit(7, 60),
+	}
+	for _, c := range circuits {
+		var first bytes.Buffer
+		if err := Write(&first, c); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		var second bytes.Buffer
+		if err := Write(&second, c2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s: serialisation not idempotent", c.Name)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package parevent
+
+import (
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/gen"
+	"parsim/internal/seq"
+	"parsim/internal/trace"
+)
+
+// crossCheck runs the circuit under the sequential oracle and under this
+// simulator with the given options, requiring identical node histories.
+func crossCheck(t *testing.T, c *circuit.Circuit, horizon circuit.Time, opts Options) *Result {
+	t.Helper()
+	ref := trace.NewRecorder()
+	seqRes := seq.Run(c, seq.Options{Horizon: horizon, Probe: ref})
+
+	got := trace.NewRecorder()
+	opts.Horizon = horizon
+	opts.Probe = got
+	res := Run(c, opts)
+
+	if d := trace.Diff(c, ref, got); d != "" {
+		t.Fatalf("%s (P=%d, %v): history mismatch: %s", c.Name, opts.Workers, opts.Mode, d)
+	}
+	if res.Run.NodeUpdates != seqRes.Run.NodeUpdates {
+		t.Errorf("node updates %d != sequential %d", res.Run.NodeUpdates, seqRes.Run.NodeUpdates)
+	}
+	if res.Run.Evals == 0 && seqRes.Run.Evals != 0 {
+		t.Error("no evaluations recorded")
+	}
+	for i := range res.Final {
+		if !res.Final[i].Equal(seqRes.Final[i]) {
+			t.Errorf("final value of node %s differs", c.Nodes[i].Name)
+		}
+	}
+	return res
+}
+
+func TestMatchesSequentialOnArray(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 8, Cols: 8, ActiveRows: 6, TogglePeriod: 2})
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		crossCheck(t, c, 300, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnFuncMultiplier(t *testing.T) {
+	cfg := gen.DefaultMultiplier()
+	cfg.InPeriod = 64
+	c := gen.FuncMultiplier(cfg)
+	for _, p := range []int{1, 3, 4} {
+		crossCheck(t, c, 512, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnGateMultiplier(t *testing.T) {
+	cfg := gen.DefaultMultiplier()
+	cfg.N = 8
+	cfg.InPeriod = 128
+	c := gen.GateMultiplier(cfg)
+	crossCheck(t, c, 512, Options{Workers: 4})
+}
+
+func TestMatchesSequentialOnCPU(t *testing.T) {
+	cfg := gen.DefaultCPU()
+	c := gen.CPU(cfg)
+	res := crossCheck(t, c, gen.CPUHorizon(cfg, 40), Options{Workers: 4})
+	if res.Run.TimeSteps == 0 {
+		t.Error("no time steps")
+	}
+}
+
+func TestMatchesSequentialOnFeedback(t *testing.T) {
+	c := gen.FeedbackChain(13)
+	crossCheck(t, c, 600, Options{Workers: 4})
+}
+
+func TestMatchesSequentialOnRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		c := gen.RandomCircuit(seed, 80)
+		crossCheck(t, c, 250, Options{Workers: 3})
+	}
+}
+
+func TestAllModesMatch(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 6, Cols: 6, ActiveRows: 6, TogglePeriod: 1})
+	for _, m := range []Mode{Distributed, NoSteal, Central} {
+		crossCheck(t, c, 200, Options{Workers: 4, Mode: m})
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	if Distributed.String() != "distributed" || NoSteal.String() != "no-steal" ||
+		Central.String() != "central" || Mode(9).String() != "unknown" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestAvailabilityCollection(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 4, Cols: 4, ActiveRows: 4, TogglePeriod: 1})
+	res := Run(c, Options{Workers: 2, Horizon: 100, CollectAvail: true})
+	if res.Run.Avail.N() == 0 {
+		t.Fatal("no availability samples")
+	}
+	// Steady state: 16 inverters + 4 inputs active each tick.
+	if mean := res.Run.Avail.Mean(); mean < 8 || mean > 24 {
+		t.Errorf("mean availability %.1f out of range", mean)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	c := gen.InverterArray(gen.DefaultInverterArray())
+	res := Run(c, Options{Workers: 2, Horizon: 400})
+	u := res.Run.Utilization()
+	if u <= 0 || u > 1.0001 {
+		t.Errorf("utilisation %f out of (0,1]", u)
+	}
+}
+
+func TestBadWorkerCountPanics(t *testing.T) {
+	c := gen.FeedbackChain(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Workers=0 did not panic")
+		}
+	}()
+	Run(c, Options{Workers: 0, Horizon: 10})
+}
+
+func TestDeterministicHistories(t *testing.T) {
+	// Parallel execution order varies, but histories must not.
+	c := gen.RandomCircuit(5, 100)
+	r1 := trace.NewRecorder()
+	Run(c, Options{Workers: 4, Horizon: 300, Probe: r1})
+	r2 := trace.NewRecorder()
+	Run(c, Options{Workers: 4, Horizon: 300, Probe: r2})
+	if d := trace.Diff(c, r1, r2); d != "" {
+		t.Fatalf("two runs differ: %s", d)
+	}
+}

@@ -1,0 +1,113 @@
+// Package partition statically assigns circuit elements to processors for
+// the compiled-mode simulator. The paper notes that compiled-mode
+// load-balancing is easy when elements are similar (gate level) and hard
+// when evaluation costs differ wildly (functional level); the strategies
+// here let the benchmarks quantify that.
+package partition
+
+import (
+	"sort"
+
+	"parsim/internal/circuit"
+)
+
+// Strategy selects a partitioning algorithm.
+type Strategy int
+
+const (
+	// RoundRobin deals elements 0..n-1 across processors in turn; the
+	// baseline the paper's compiled-mode simulator uses.
+	RoundRobin Strategy = iota
+	// Blocks gives each processor one contiguous range of element IDs,
+	// preserving locality between neighbouring cells of regular arrays.
+	Blocks
+	// CostLPT applies longest-processing-time-first bin packing on element
+	// costs, the classic fix for dissimilar functional-model runtimes.
+	CostLPT
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case Blocks:
+		return "blocks"
+	case CostLPT:
+		return "cost-lpt"
+	}
+	return "unknown"
+}
+
+// Split assigns every non-generator element of c to one of p partitions.
+// Generators are excluded: the simulators schedule them separately.
+func Split(c *circuit.Circuit, p int, s Strategy) [][]circuit.ElemID {
+	if p < 1 {
+		panic("partition: need at least one processor")
+	}
+	var ids []circuit.ElemID
+	for i := range c.Elems {
+		if !c.Elems[i].IsGenerator() {
+			ids = append(ids, c.Elems[i].ID)
+		}
+	}
+	parts := make([][]circuit.ElemID, p)
+	switch s {
+	case RoundRobin:
+		for i, id := range ids {
+			parts[i%p] = append(parts[i%p], id)
+		}
+	case Blocks:
+		per := (len(ids) + p - 1) / p
+		for i, id := range ids {
+			parts[i/per] = append(parts[i/per], id)
+		}
+	case CostLPT:
+		sort.SliceStable(ids, func(i, j int) bool {
+			return c.Elems[ids[i]].Cost > c.Elems[ids[j]].Cost
+		})
+		load := make([]int64, p)
+		for _, id := range ids {
+			min := 0
+			for w := 1; w < p; w++ {
+				if load[w] < load[min] {
+					min = w
+				}
+			}
+			parts[min] = append(parts[min], id)
+			load[min] += c.Elems[id].Cost
+		}
+		// Deterministic evaluation order within a partition.
+		for _, part := range parts {
+			sort.Slice(part, func(i, j int) bool { return part[i] < part[j] })
+		}
+	default:
+		panic("partition: unknown strategy")
+	}
+	return parts
+}
+
+// Imbalance returns max partition cost divided by mean partition cost — 1.0
+// is perfect balance. It is the quantity the paper blames for the
+// functional multiplier's poor compiled-mode speed-up.
+func Imbalance(c *circuit.Circuit, parts [][]circuit.ElemID) float64 {
+	if len(parts) == 0 {
+		return 1
+	}
+	var total, max int64
+	for _, part := range parts {
+		var load int64
+		for _, id := range part {
+			load += c.Elems[id].Cost
+		}
+		total += load
+		if load > max {
+			max = load
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(parts))
+	return float64(max) / mean
+}

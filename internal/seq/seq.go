@@ -1,0 +1,241 @@
+// Package seq implements the uniprocessor event-driven simulator: the
+// paper's baseline algorithm and this repository's correctness oracle.
+//
+// For each active time step it performs the three classic phases:
+//
+//  1. update all scheduled nodes,
+//  2. evaluate all elements connected to the changed nodes,
+//  3. schedule all output nodes that change.
+//
+// All parallel simulators are cross-checked against the node histories this
+// simulator produces.
+package seq
+
+import (
+	"sort"
+	"time"
+
+	"parsim/internal/circuit"
+	"parsim/internal/eventq"
+	"parsim/internal/logic"
+	"parsim/internal/stats"
+	"parsim/internal/trace"
+)
+
+// Options configures a run.
+type Options struct {
+	Horizon circuit.Time // simulate t in [0, Horizon)
+	Probe   trace.Probe  // optional observer of node changes
+	// CostSpin > 0 makes each evaluation burn CostSpin times the element's
+	// Cost in synthetic work, restoring the paper's 1-100x spread between
+	// gate and functional model evaluation times.
+	CostSpin int64
+	// CollectAvail records the events-available-per-step histogram (used by
+	// experiment T3); it costs a map update per step.
+	CollectAvail bool
+	// Collect records per-step activity and the evaluation-causality DAG
+	// used by the machine package's virtual-multiprocessor models.
+	Collect bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Run   stats.Run
+	Final []logic.Value // node values at the horizon, indexed by NodeID
+	// Steps and Graph are populated when Options.Collect is set.
+	Steps []StepRecord
+	Graph *TaskGraph
+}
+
+// Run simulates the circuit and returns statistics and final node values.
+func Run(c *circuit.Circuit, opts Options) *Result {
+	s := newSim(c, opts)
+	start := time.Now()
+	s.run()
+	s.res.Wall = time.Since(start)
+	s.res.ModelCalls = s.res.Evals
+	s.res.Busy = []time.Duration{s.res.Wall}
+	res := &Result{Run: s.res, Final: s.val}
+	if s.co != nil {
+		res.Steps = s.co.steps
+		res.Graph = &s.co.graph
+	}
+	return res
+}
+
+type sim struct {
+	c    *circuit.Circuit
+	opts Options
+	res  stats.Run
+
+	val       []logic.Value   // current node values
+	projected []logic.Value   // last value scheduled for each node
+	state     [][]logic.Value // per-element internal state
+	q         *eventq.Queue
+
+	genIDs  []circuit.ElemID
+	genNext []circuit.Time // next change time per generator; -1 when exhausted
+
+	activated []circuit.ElemID
+	inList    []bool
+
+	inBuf, outBuf []logic.Value
+
+	co *collector // non-nil when Options.Collect
+}
+
+func newSim(c *circuit.Circuit, opts Options) *sim {
+	s := &sim{
+		c:    c,
+		opts: opts,
+		q:    eventq.New(),
+		res: stats.Run{
+			Algorithm: "event-driven",
+			Circuit:   c.Name,
+			Horizon:   opts.Horizon,
+			Workers:   1,
+		},
+	}
+	s.val = make([]logic.Value, len(c.Nodes))
+	s.projected = make([]logic.Value, len(c.Nodes))
+	for i := range c.Nodes {
+		s.val[i] = logic.AllX(c.Nodes[i].Width)
+		s.projected[i] = s.val[i]
+	}
+	s.state = make([][]logic.Value, len(c.Elems))
+	for i := range c.Elems {
+		if n := c.Elems[i].NumStateVals(); n > 0 {
+			s.state[i] = make([]logic.Value, n)
+			c.Elems[i].InitState(s.state[i])
+		}
+	}
+	s.genIDs = c.Generators()
+	s.genNext = make([]circuit.Time, len(s.genIDs))
+	s.inList = make([]bool, len(c.Elems))
+	if opts.Collect {
+		s.co = newCollector(c)
+	}
+	return s
+}
+
+// nextGenTime returns the earliest pending generator change time, or -1.
+func (s *sim) nextGenTime() circuit.Time {
+	next := circuit.Time(-1)
+	for _, t := range s.genNext {
+		if t >= 0 && (next < 0 || t < next) {
+			next = t
+		}
+	}
+	return next
+}
+
+func (s *sim) run() {
+	for {
+		// Earliest pending activity: scheduled events or generator changes.
+		t := s.nextGenTime()
+		if qt, ok := s.q.Peek(); ok && (t < 0 || qt < t) {
+			t = qt
+		}
+		if t < 0 || t >= s.opts.Horizon {
+			return
+		}
+		s.step(t)
+	}
+}
+
+func (s *sim) step(t circuit.Time) {
+	s.res.TimeSteps++
+	if s.co != nil {
+		s.co.beginStep(t)
+	}
+
+	// Phase 1: update scheduled nodes.
+	for i, gt := range s.genNext {
+		if gt != t {
+			continue
+		}
+		el := &s.c.Elems[s.genIDs[i]]
+		s.applyUpdate(el.Out[0], t, el.GenValueAt(t))
+		if next, ok := el.GenNextChange(t); ok && next < s.opts.Horizon {
+			s.genNext[i] = next
+		} else {
+			s.genNext[i] = -1
+		}
+	}
+	if qt, ok := s.q.Peek(); ok && qt == t {
+		_, ups, _ := s.q.PopNext()
+		for _, u := range ups {
+			s.applyUpdate(u.Node, t, u.Value)
+		}
+	}
+
+	if s.opts.CollectAvail {
+		s.res.Avail.Observe(len(s.activated))
+	}
+
+	// Phase 2 and 3: evaluate activated elements, schedule changed outputs.
+	sort.Slice(s.activated, func(i, j int) bool { return s.activated[i] < s.activated[j] })
+	for _, id := range s.activated {
+		s.inList[id] = false
+		s.evaluate(t, id)
+	}
+	s.activated = s.activated[:0]
+}
+
+func (s *sim) applyUpdate(n circuit.NodeID, t circuit.Time, v logic.Value) {
+	if v.Equal(s.val[n]) {
+		return
+	}
+	s.val[n] = v
+	s.res.NodeUpdates++
+	if s.opts.Probe != nil {
+		s.opts.Probe.OnChange(n, t, v)
+	}
+	producer := int32(-1)
+	if s.co != nil {
+		producer = s.co.onUpdate(n, t)
+	}
+	for _, pr := range s.c.Nodes[n].Fanout {
+		if s.co != nil {
+			s.co.onActivate(pr.Elem, producer)
+		}
+		if !s.inList[pr.Elem] {
+			s.inList[pr.Elem] = true
+			s.activated = append(s.activated, pr.Elem)
+		}
+	}
+}
+
+func (s *sim) evaluate(t circuit.Time, id circuit.ElemID) {
+	el := &s.c.Elems[id]
+	s.res.Evals++
+	task := int32(-1)
+	if s.co != nil {
+		task = s.co.onEval(id, t)
+	}
+	if cap(s.inBuf) < len(el.In) {
+		s.inBuf = make([]logic.Value, len(el.In))
+	}
+	in := s.inBuf[:len(el.In)]
+	for i, n := range el.In {
+		in[i] = s.val[n]
+	}
+	if cap(s.outBuf) < len(el.Out) {
+		s.outBuf = make([]logic.Value, len(el.Out))
+	}
+	out := s.outBuf[:len(el.Out)]
+	el.Eval(in, s.state[id], out)
+	if s.opts.CostSpin > 0 {
+		circuit.Spin(el.Cost * s.opts.CostSpin)
+	}
+	for p, n := range el.Out {
+		if out[p].Equal(s.projected[n]) {
+			continue
+		}
+		s.projected[n] = out[p]
+		s.q.Schedule(t+el.Delay, eventq.Update{Node: n, Value: out[p]})
+		if s.co != nil {
+			s.co.onSchedule(n, t+el.Delay, task)
+		}
+	}
+}

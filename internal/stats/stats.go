@@ -1,0 +1,126 @@
+// Package stats collects run metrics: event counts, element evaluations,
+// per-worker busy time and the event-availability distribution the paper
+// uses to explain why synchronous parallelism runs out of work ("there can
+// be less than 5 events available for evaluation about 50% of the time").
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"parsim/internal/circuit"
+)
+
+// Run summarises one simulation run.
+type Run struct {
+	Algorithm   string
+	Circuit     string
+	Horizon     circuit.Time
+	Workers     int
+	TimeSteps   int64 // active time steps processed (0 for the async algorithm)
+	NodeUpdates int64 // node value changes applied
+	Evals       int64 // element evaluations (activations, for the async algorithm)
+	ModelCalls  int64 // element model-function invocations (== Evals except async)
+	EventsUsed  int64 // input events consumed by evaluations (async)
+	Wall        time.Duration
+	Busy        []time.Duration // per-worker useful time
+	Avail       Histogram       // elements available for evaluation per time step
+}
+
+// Utilization returns total busy time divided by workers x wall time, the
+// paper's processor-utilisation metric. Returns 0 if timing was not
+// collected.
+func (r *Run) Utilization() float64 {
+	if r.Wall <= 0 || r.Workers == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range r.Busy {
+		busy += b
+	}
+	return float64(busy) / (float64(r.Wall) * float64(r.Workers))
+}
+
+// String formats a one-line summary.
+func (r *Run) String() string {
+	return fmt.Sprintf("%s on %s: P=%d steps=%d updates=%d evals=%d wall=%v util=%.0f%%",
+		r.Algorithm, r.Circuit, r.Workers, r.TimeSteps, r.NodeUpdates, r.Evals,
+		r.Wall.Round(time.Microsecond), 100*r.Utilization())
+}
+
+// Histogram counts integer observations (e.g. activated elements per time
+// step).
+type Histogram struct {
+	counts map[int]int64
+	n      int64
+	sum    int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int) {
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += int64(v)
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// FractionBelow returns the fraction of samples strictly less than v.
+func (h *Histogram) FractionBelow(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var below int64
+	for k, c := range h.counts {
+		if k < v {
+			below += c
+		}
+	}
+	return float64(below) / float64(h.n)
+}
+
+// Quantile returns the smallest observed value q of the way through the
+// distribution (q in [0, 1]).
+func (h *Histogram) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := int64(q * float64(h.n))
+	var seen int64
+	for _, k := range keys {
+		seen += h.counts[k]
+		if seen > target {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int {
+	max := 0
+	for k := range h.counts {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUtilization(t *testing.T) {
+	r := Run{
+		Workers: 2,
+		Wall:    100 * time.Millisecond,
+		Busy:    []time.Duration{100 * time.Millisecond, 50 * time.Millisecond},
+	}
+	if u := r.Utilization(); u != 0.75 {
+		t.Errorf("utilisation = %f, want 0.75", u)
+	}
+	empty := Run{}
+	if empty.Utilization() != 0 {
+		t.Error("empty run utilisation must be 0")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Algorithm: "async", Circuit: "c", Workers: 3, Evals: 42,
+		Wall: time.Millisecond, Busy: []time.Duration{time.Millisecond}}
+	s := r.String()
+	for _, want := range []string{"async", "P=3", "evals=42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram accessors")
+	}
+	for _, v := range []int{1, 2, 2, 3, 3, 3, 10} {
+		h.Observe(v)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	if got := h.Mean(); got < 3.42 || got > 3.44 {
+		t.Errorf("Mean = %f", got)
+	}
+	if h.Max() != 10 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got := h.FractionBelow(3); got != 3.0/7 {
+		t.Errorf("FractionBelow(3) = %f", got)
+	}
+	if got := h.FractionBelow(100); got != 1 {
+		t.Errorf("FractionBelow(100) = %f", got)
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("median = %d", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q0 = %d", q)
+	}
+	if q := h.Quantile(0.999); q != 10 {
+		t.Errorf("q0.999 = %d", q)
+	}
+}
+
+func TestQuickHistogramInvariants(t *testing.T) {
+	f := func(vals []uint8) bool {
+		var h Histogram
+		sum := 0
+		for _, v := range vals {
+			h.Observe(int(v))
+			sum += int(v)
+		}
+		if len(vals) == 0 {
+			return h.N() == 0
+		}
+		// Mean matches, quantiles are observed values and monotone.
+		if h.N() != int64(len(vals)) {
+			return false
+		}
+		mean := float64(sum) / float64(len(vals))
+		if diff := h.Mean() - mean; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		return h.Quantile(0) <= h.Quantile(0.5) && h.Quantile(0.5) <= h.Quantile(1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package timewarp
+
+import (
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/gen"
+	"parsim/internal/seq"
+	"parsim/internal/trace"
+)
+
+// crossCheck compares committed Time Warp output against the sequential
+// oracle, event for event.
+func init() { twDebug = true }
+
+func crossCheck(t *testing.T, c *circuit.Circuit, horizon circuit.Time, opts Options) *Result {
+	t.Helper()
+	ref := trace.NewRecorder()
+	seqRes := seq.Run(c, seq.Options{Horizon: horizon, Probe: ref})
+
+	got := trace.NewRecorder()
+	opts.Horizon = horizon
+	opts.Probe = got
+	res := Run(c, opts)
+
+	if d := trace.Diff(c, ref, got); d != "" {
+		t.Fatalf("%s (P=%d): history mismatch: %s", c.Name, opts.Workers, d)
+	}
+	if res.Run.NodeUpdates != seqRes.Run.NodeUpdates {
+		t.Errorf("committed updates %d != sequential %d", res.Run.NodeUpdates, seqRes.Run.NodeUpdates)
+	}
+	for i := range res.Final {
+		if !res.Final[i].Equal(seqRes.Final[i]) {
+			t.Errorf("final value of node %s differs: %v vs %v",
+				c.Nodes[i].Name, res.Final[i], seqRes.Final[i])
+		}
+	}
+	return res
+}
+
+func TestMatchesSequentialOnArray(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 8, Cols: 8, ActiveRows: 6, TogglePeriod: 2})
+	for _, p := range []int{1, 2, 3, 4} {
+		crossCheck(t, c, 300, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnFuncMultiplier(t *testing.T) {
+	cfg := gen.DefaultMultiplier()
+	cfg.InPeriod = 64
+	c := gen.FuncMultiplier(cfg)
+	for _, p := range []int{1, 3} {
+		crossCheck(t, c, 512, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnGateMultiplier(t *testing.T) {
+	cfg := gen.DefaultMultiplier()
+	cfg.N = 8
+	cfg.InPeriod = 128
+	c := gen.GateMultiplier(cfg)
+	crossCheck(t, c, 512, Options{Workers: 4})
+}
+
+func TestMatchesSequentialOnCPU(t *testing.T) {
+	cfg := gen.DefaultCPU()
+	c := gen.CPU(cfg)
+	crossCheck(t, c, gen.CPUHorizon(cfg, 20), Options{Workers: 3})
+}
+
+func TestMatchesSequentialOnFeedback(t *testing.T) {
+	for _, p := range []int{1, 3} {
+		crossCheck(t, gen.FeedbackChain(13), 600, Options{Workers: p})
+	}
+}
+
+func TestMatchesSequentialOnRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c := gen.RandomCircuit(seed, 80)
+		crossCheck(t, c, 200, Options{Workers: 3})
+	}
+}
+
+func TestSmallWindowForcesRollbacks(t *testing.T) {
+	// A small optimism window with several workers on a deep circuit makes
+	// cross-partition stragglers likely; the simulator must both roll back
+	// and still produce exact results.
+	cfg := gen.DefaultMultiplier()
+	cfg.N = 8
+	cfg.InPeriod = 64
+	c := gen.GateMultiplier(cfg)
+	res := crossCheck(t, c, 512, Options{Workers: 4, StepsPerRound: 64})
+	t.Logf("rollbacks=%d cancelled=%d rolledBack=%d peakLog=%d rounds=%d",
+		res.Rollbacks, res.Cancelled, res.RolledBack, res.PeakLog, res.GVTRounds)
+	if res.Rollbacks == 0 {
+		t.Log("no rollbacks occurred; optimism never misfired on this host")
+	}
+}
+
+func TestStateStorageGrowsWithOptimism(t *testing.T) {
+	// The paper's criticism: optimistic execution must keep state to roll
+	// back to. More optimism per round -> more saved state.
+	c := gen.InverterArray(gen.InverterArrayConfig{Rows: 16, Cols: 16, ActiveRows: 16, TogglePeriod: 1})
+	small := Run(c, Options{Workers: 2, Horizon: 160, StepsPerRound: 64})
+	big := Run(c, Options{Workers: 2, Horizon: 160, StepsPerRound: 4096})
+	if big.PeakLog <= small.PeakLog {
+		t.Errorf("peak saved state did not grow with optimism: %d vs %d",
+			big.PeakLog, small.PeakLog)
+	}
+	if small.GVTRounds <= big.GVTRounds {
+		t.Errorf("smaller windows should need more GVT rounds: %d vs %d",
+			small.GVTRounds, big.GVTRounds)
+	}
+}
+
+func TestBadWorkerCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Workers=0 did not panic")
+		}
+	}()
+	Run(gen.FeedbackChain(3), Options{Workers: 0, Horizon: 10})
+}
+
+func TestZeroHorizon(t *testing.T) {
+	res := Run(gen.FeedbackChain(3), Options{Workers: 2, Horizon: 0})
+	if res.Run.NodeUpdates != 0 {
+		t.Errorf("updates at zero horizon: %d", res.Run.NodeUpdates)
+	}
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+func tinyCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("tiny")
+	a := b.Bit("a")
+	y := b.Node("y", 4)
+	b.Clock("g", a, 4, 0, 0)
+	b.Const("c", y, logic.V(4, 5))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRecorderBasics(t *testing.T) {
+	c := tinyCircuit(t)
+	r := NewRecorder()
+	a := c.ByName["a"]
+	r.OnChange(a, 0, logic.V(1, 1))
+	r.OnChange(a, 5, logic.V(1, 0))
+	h := r.History(a)
+	if len(h) != 2 || h[0].Time != 0 || h[1].Value.MustUint() != 0 {
+		t.Fatalf("history = %v", h)
+	}
+	if got := r.ValueAt(c, a, 3).MustUint(); got != 1 {
+		t.Errorf("ValueAt(3) = %d", got)
+	}
+	if got := r.ValueAt(c, a, 7).MustUint(); got != 0 {
+		t.Errorf("ValueAt(7) = %d", got)
+	}
+	if !r.ValueAt(c, a, -1).Equal(logic.AllX(1)) {
+		t.Errorf("ValueAt before first change should be X")
+	}
+	if r.TotalChanges() != 2 {
+		t.Errorf("TotalChanges = %d", r.TotalChanges())
+	}
+	if nodes := r.Nodes(); len(nodes) != 1 || nodes[0] != a {
+		t.Errorf("Nodes = %v", nodes)
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	c := tinyCircuit(t)
+	a, y := c.ByName["a"], c.ByName["y"]
+	r := NewRecorderFor(y)
+	r.OnChange(a, 0, logic.V(1, 1))
+	r.OnChange(y, 0, logic.V(4, 5))
+	if len(r.History(a)) != 0 {
+		t.Error("filtered node recorded")
+	}
+	if len(r.History(y)) != 1 {
+		t.Error("selected node not recorded")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	c := tinyCircuit(t)
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := c.ByName["a"]
+			for i := 0; i < 1000; i++ {
+				r.OnChange(n, circuit.Time(w*1000+i), logic.V(1, uint64(i&1)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.TotalChanges() != 4000 {
+		t.Errorf("TotalChanges = %d", r.TotalChanges())
+	}
+	h := r.History(c.ByName["a"])
+	for i := 1; i < len(h); i++ {
+		if h[i].Time < h[i-1].Time {
+			t.Fatal("history not sorted")
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	c := tinyCircuit(t)
+	a := c.ByName["a"]
+	r1, r2 := NewRecorder(), NewRecorder()
+	r1.OnChange(a, 0, logic.V(1, 1))
+	r2.OnChange(a, 0, logic.V(1, 1))
+	if d := Diff(c, r1, r2); d != "" {
+		t.Errorf("identical recorders differ: %s", d)
+	}
+	r2.OnChange(a, 5, logic.V(1, 0))
+	if d := Diff(c, r1, r2); !strings.Contains(d, "1 vs 2 changes") {
+		t.Errorf("count diff not reported: %q", d)
+	}
+	r1.OnChange(a, 6, logic.V(1, 0))
+	if d := Diff(c, r1, r2); !strings.Contains(d, "change 1") {
+		t.Errorf("content diff not reported: %q", d)
+	}
+}
+
+func TestMultiProbe(t *testing.T) {
+	c := tinyCircuit(t)
+	r := NewRecorder()
+	cp := &CountingProbe{}
+	m := MultiProbe{r, cp}
+	m.OnChange(c.ByName["a"], 0, logic.V(1, 1))
+	if r.TotalChanges() != 1 || cp.Count() != 1 {
+		t.Error("multiprobe did not fan out")
+	}
+}
+
+func TestVCDFormat(t *testing.T) {
+	c := tinyCircuit(t)
+	r := NewRecorder()
+	a, y := c.ByName["a"], c.ByName["y"]
+	r.OnChange(a, 0, logic.V(1, 1))
+	r.OnChange(y, 2, logic.FromStates([]logic.State{logic.H, logic.L, logic.X, logic.Z}))
+	r.OnChange(a, 4, logic.V(1, 0))
+
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, c, r, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module tiny", "$var wire 1 ! a",
+		"$var wire 4 \" y", "$enddefinitions",
+		"#0", "1!", "#2", "bzx01 \"", "#4", "0!", "#10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Initial dump declares both nodes X.
+	if !strings.Contains(out, "$dumpvars") || !strings.Contains(out, "x!") {
+		t.Errorf("missing X initialisation:\n%s", out)
+	}
+}
+
+func TestVCDIdentifiers(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, ch := range id {
+			if ch < '!' || ch > '~' {
+				t.Fatalf("unprintable id byte %q", ch)
+			}
+		}
+	}
+}

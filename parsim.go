@@ -1,0 +1,348 @@
+// Package parsim is a parallel logic simulator for general-purpose
+// shared-memory machines, reproducing Soule & Blank, "Parallel Logic
+// Simulation on General Purpose Machines" (DAC 1988).
+//
+// Three parallel simulation algorithms are provided behind one API:
+//
+//   - EventDriven: the synchronous parallel event-driven algorithm —
+//     classic update/evaluate phases with distributed per-worker queues,
+//     round-robin scheduling, end-of-phase work stealing, and a barrier at
+//     every time step;
+//   - Compiled: the parallel unit-delay compiled-mode algorithm — every
+//     element evaluated every step from a static partition;
+//   - Async: the paper's primary contribution, a totally asynchronous
+//     algorithm with no locks and no barriers: per-node event histories
+//     with incrementally advancing valid-times (so the Chandy-Misra
+//     deadlock never forms and no Time-Warp rollback is needed), lock-free
+//     single-reader/single-writer work queues, and asynchronous reclamation
+//     of consumed events;
+//
+// plus the Sequential reference simulator every parallel run is
+// cross-checked against.
+//
+// Circuits mix representation levels: two-input gates, RTL registers and
+// muxes, and functional blocks (wide adders, multipliers, ALUs, memories)
+// connected by four-state (0/1/X/Z) nodes up to 64 bits wide. Build them
+// with a Builder, load them from netlist files, or generate the paper's
+// benchmark circuits from the Bench* helpers.
+//
+// # Quick start
+//
+//	b := parsim.NewBuilder("blinker")
+//	clk := b.Bit("clk")
+//	q := b.Bit("q")
+//	b.Clock("osc", clk, 10, 0, 0)
+//	b.Gate(parsim.Not, "inv", 1, q, clk)
+//	c, err := b.Build()
+//	...
+//	res, err := parsim.Simulate(c, parsim.Options{
+//		Algorithm: parsim.Async,
+//		Workers:   runtime.NumCPU(),
+//		Horizon:   1000,
+//	})
+package parsim
+
+import (
+	"fmt"
+
+	"parsim/internal/circuit"
+	"parsim/internal/compiled"
+	"parsim/internal/core"
+	"parsim/internal/dist"
+	"parsim/internal/logic"
+	"parsim/internal/parevent"
+	"parsim/internal/partition"
+	"parsim/internal/seq"
+	"parsim/internal/stats"
+	"parsim/internal/timewarp"
+	"parsim/internal/trace"
+)
+
+// Core value and netlist types, re-exported from the implementation
+// packages so user code needs only this import.
+type (
+	// Value is a four-state bus value up to 64 bits wide.
+	Value = logic.Value
+	// State is a single wire state: L, H, X or Z.
+	State = logic.State
+	// Time is a simulation timestamp in ticks.
+	Time = circuit.Time
+	// Circuit is a validated, immutable netlist.
+	Circuit = circuit.Circuit
+	// Builder assembles circuits programmatically.
+	Builder = circuit.Builder
+	// Kind identifies an element type.
+	Kind = circuit.Kind
+	// Params carries kind-specific element configuration.
+	Params = circuit.Params
+	// NodeID identifies a node within a circuit.
+	NodeID = circuit.NodeID
+	// ElemID identifies an element within a circuit.
+	ElemID = circuit.ElemID
+	// Probe observes node changes during simulation.
+	Probe = trace.Probe
+	// Recorder is a Probe that stores full node histories.
+	Recorder = trace.Recorder
+	// Change is one recorded node transition.
+	Change = trace.Change
+	// RunStats summarises a simulation run.
+	RunStats = stats.Run
+	// Strategy selects a compiled-mode partitioner.
+	Strategy = partition.Strategy
+)
+
+// Wire states.
+const (
+	L = logic.L
+	H = logic.H
+	X = logic.X
+	Z = logic.Z
+)
+
+// Element kinds, re-exported with friendlier names.
+const (
+	Buf    = circuit.KindBuf
+	Not    = circuit.KindNot
+	And    = circuit.KindAnd
+	Or     = circuit.KindOr
+	Nand   = circuit.KindNand
+	Nor    = circuit.KindNor
+	Xor    = circuit.KindXor
+	Xnor   = circuit.KindXnor
+	Mux2   = circuit.KindMux2
+	DFF    = circuit.KindDFF
+	DFFR   = circuit.KindDFFR
+	Latch  = circuit.KindLatch
+	Tri    = circuit.KindTri
+	Res2   = circuit.KindRes2
+	Const  = circuit.KindConst
+	Add    = circuit.KindAdd
+	AddC   = circuit.KindAddC
+	Sub    = circuit.KindSub
+	MulK   = circuit.KindMul
+	Eq     = circuit.KindEq
+	LtU    = circuit.KindLtU
+	Slice  = circuit.KindSlice
+	Ext    = circuit.KindExt
+	Concat = circuit.KindConcat
+	ShlK   = circuit.KindShlK
+	ShrK   = circuit.KindShrK
+	RedAnd = circuit.KindRedAnd
+	RedOr  = circuit.KindRedOr
+	RedXor = circuit.KindRedXor
+	Alu    = circuit.KindAlu
+	Rom    = circuit.KindRom
+	Ram    = circuit.KindRam
+	Clock  = circuit.KindClock
+	Wave   = circuit.KindWave
+	Rand   = circuit.KindRand
+	Gray   = circuit.KindGray
+)
+
+// Partition strategies for compiled mode.
+const (
+	RoundRobin = partition.RoundRobin
+	Blocks     = partition.Blocks
+	CostLPT    = partition.CostLPT
+)
+
+// Value constructors.
+var (
+	// V returns a fully known value of the given width.
+	V = logic.V
+	// AllX returns a value with every bit unknown.
+	AllX = logic.AllX
+	// AllZ returns a value with every bit high-impedance.
+	AllZ = logic.AllZ
+	// ParseValue parses a Verilog-style literal such as "8'hff".
+	ParseValue = logic.ParseValue
+	// NewBuilder starts a new circuit.
+	NewBuilder = circuit.NewBuilder
+	// NewRecorder records every node change.
+	NewRecorder = trace.NewRecorder
+	// NewRecorderFor records only the listed nodes.
+	NewRecorderFor = trace.NewRecorderFor
+	// HistoryDiff compares two recorders, returning "" when identical.
+	HistoryDiff = trace.Diff
+)
+
+// Algorithm selects a simulation algorithm.
+type Algorithm int
+
+// The four simulators.
+const (
+	// Sequential is the uniprocessor event-driven reference algorithm.
+	Sequential Algorithm = iota
+	// EventDriven is the synchronous parallel event-driven algorithm.
+	EventDriven
+	// Compiled is the parallel unit-delay compiled-mode algorithm. It
+	// ignores element delays (everything behaves unit-delay), so its
+	// histories match the others only on unit-delay circuits.
+	Compiled
+	// Async is the lock-free, barrier-free asynchronous algorithm — the
+	// paper's primary contribution.
+	Async
+	// DistAsync is the asynchronous algorithm restructured for distributed
+	// memory (the paper's stated future work, "porting these algorithms to
+	// a hypercube architecture"): partitioned workers exchanging event
+	// messages over channels, with Safra token-ring termination detection.
+	DistAsync
+	// TimeWarp is the rollback-based optimistic baseline the paper argues
+	// against (Arnold's simulator, built on Jefferson's Virtual Time):
+	// elements execute speculatively; stragglers force state restoration
+	// and anti-message cancellation. Result.Rollbacks and Result.PeakLog
+	// quantify the paper's two criticisms.
+	TimeWarp
+	// ChandyMisra is the conservative baseline the paper refines: node
+	// valid-times stay frozen while the simulation runs, so it repeatedly
+	// deadlocks and a global clock-value update restarts it. The paper's
+	// contribution is exactly the incremental valid-time advancement that
+	// makes these deadlocks impossible; Result.Rounds counts them.
+	ChandyMisra
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Sequential:
+		return "sequential"
+	case EventDriven:
+		return "event-driven"
+	case Compiled:
+		return "compiled"
+	case Async:
+		return "asynchronous"
+	case DistAsync:
+		return "distributed-async"
+	case TimeWarp:
+		return "time-warp"
+	case ChandyMisra:
+		return "chandy-misra"
+	}
+	return "unknown"
+}
+
+// Options configures Simulate.
+type Options struct {
+	Algorithm Algorithm
+	Horizon   Time  // simulate t in [0, Horizon); required
+	Workers   int   // parallel workers; default 1
+	Probe     Probe // optional concurrency-safe observer
+	// CostSpin > 0 burns CostSpin x the element's Cost of synthetic work
+	// per evaluation, restoring the paper's gate-vs-functional evaluation
+	// cost spread for benchmarking.
+	CostSpin int64
+	// Strategy selects the compiled-mode static partitioner.
+	Strategy Strategy
+	// NoSteal disables event-driven end-of-phase work stealing;
+	// CentralQueue reverts to the paper's initial contended single-queue
+	// design. Both are ablations of the EventDriven algorithm.
+	NoSteal      bool
+	CentralQueue bool
+	// NoLookahead disables the Async algorithm's clocked-element
+	// lookahead (ablation; results are identical, evaluation counts grow
+	// on feedback-heavy circuits).
+	NoLookahead bool
+	// GateLookahead enables the Async algorithm's controlling-value
+	// optimisation: events behind a pinned AND/NAND/OR/NOR input are
+	// consumed without evaluating the gate model.
+	GateLookahead bool
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Stats RunStats
+	// Final holds each node's value at the horizon, indexed by NodeID.
+	Final []Value
+	// Messages counts inter-worker messages (DistAsync only).
+	Messages int64
+	// Rollbacks, Cancelled and PeakLog quantify optimistic execution
+	// (TimeWarp only): rollback episodes, anti-message annihilations, and
+	// the peak saved-state footprint.
+	Rollbacks int64
+	Cancelled int64
+	PeakLog   int64
+	// Rounds counts Chandy-Misra deadlock recoveries (ChandyMisra only).
+	Rounds int64
+}
+
+// Simulate runs the selected algorithm over [0, Horizon). All algorithms
+// produce identical node histories (Compiled on unit-delay circuits); they
+// differ in how the work is executed.
+func Simulate(c *Circuit, opts Options) (*Result, error) {
+	if c == nil {
+		return nil, fmt.Errorf("parsim: nil circuit")
+	}
+	if opts.Horizon < 0 {
+		return nil, fmt.Errorf("parsim: negative horizon %d", opts.Horizon)
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("parsim: %d workers", opts.Workers)
+	}
+	switch opts.Algorithm {
+	case Sequential:
+		if workers != 1 {
+			return nil, fmt.Errorf("parsim: the sequential algorithm is single-worker")
+		}
+		r := seq.Run(c, seq.Options{
+			Horizon: opts.Horizon, Probe: opts.Probe, CostSpin: opts.CostSpin,
+		})
+		return &Result{Stats: r.Run, Final: r.Final}, nil
+	case EventDriven:
+		mode := parevent.Distributed
+		if opts.NoSteal {
+			mode = parevent.NoSteal
+		}
+		if opts.CentralQueue {
+			mode = parevent.Central
+		}
+		r := parevent.Run(c, parevent.Options{
+			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
+			CostSpin: opts.CostSpin, Mode: mode,
+		})
+		return &Result{Stats: r.Run, Final: r.Final}, nil
+	case Compiled:
+		r := compiled.Run(c, compiled.Options{
+			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
+			CostSpin: opts.CostSpin, Strategy: opts.Strategy,
+		})
+		return &Result{Stats: r.Run, Final: r.Final}, nil
+	case Async:
+		r := core.Run(c, core.Options{
+			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
+			CostSpin: opts.CostSpin, NoLookahead: opts.NoLookahead,
+			GateLookahead: opts.GateLookahead,
+		})
+		return &Result{Stats: r.Run, Final: r.Final}, nil
+	case DistAsync:
+		r := dist.Run(c, dist.Options{
+			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
+			CostSpin: opts.CostSpin, Strategy: opts.Strategy,
+		})
+		return &Result{Stats: r.Run, Final: r.Final, Messages: r.Messages}, nil
+	case TimeWarp:
+		r := timewarp.Run(c, timewarp.Options{
+			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
+			CostSpin: opts.CostSpin, Strategy: opts.Strategy,
+		})
+		return &Result{
+			Stats: r.Run, Final: r.Final,
+			Rollbacks: r.Rollbacks, Cancelled: r.Cancelled, PeakLog: r.PeakLog,
+		}, nil
+	case ChandyMisra:
+		r := core.Run(c, core.Options{
+			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
+			CostSpin: opts.CostSpin, DeadlockRecovery: true,
+		})
+		return &Result{Stats: r.Run, Final: r.Final, Rounds: r.Rounds}, nil
+	}
+	return nil, fmt.Errorf("parsim: unknown algorithm %d", opts.Algorithm)
+}
+
+// IsUnitDelay reports whether every element has delay 1, the precondition
+// for Compiled to agree with the other algorithms.
+func IsUnitDelay(c *Circuit) bool { return compiled.UnitDelay(c) }

@@ -1,0 +1,297 @@
+package parsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildBlinker returns a tiny unit-delay circuit usable by every algorithm.
+func buildBlinker(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("blinker")
+	clk := b.Bit("clk")
+	q := b.Bit("q")
+	b.Clock("osc", clk, 10, 0, 0)
+	b.Gate(Not, "inv", 1, q, clk)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	c := RandomUnitCircuit(3, 60)
+	var ref *Recorder
+	for _, alg := range []Algorithm{Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra} {
+		rec := NewRecorder()
+		opts := Options{Algorithm: alg, Horizon: 200, Probe: rec, Workers: 2}
+		if alg == Sequential {
+			opts.Workers = 1
+		}
+		res, err := Simulate(c, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Stats.NodeUpdates == 0 {
+			t.Errorf("%v: no activity", alg)
+		}
+		if ref == nil {
+			ref = rec
+			continue
+		}
+		if d := HistoryDiff(c, ref, rec); d != "" {
+			t.Errorf("%v differs from sequential: %s", alg, d)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	c := buildBlinker(t)
+	cases := []Options{
+		{Algorithm: Sequential, Horizon: 10, Workers: 4}, // seq is single-worker
+		{Algorithm: Async, Horizon: -1},
+		{Algorithm: Algorithm(99), Horizon: 10},
+		{Algorithm: Async, Horizon: 10, Workers: -3},
+	}
+	for i, opts := range cases {
+		if _, err := Simulate(c, opts); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+	if _, err := Simulate(nil, Options{Horizon: 10}); err == nil {
+		t.Error("nil circuit accepted")
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	c := buildBlinker(t)
+	res, err := Simulate(c, Options{Algorithm: Async, Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Workers != 1 {
+		t.Errorf("default workers = %d", res.Stats.Workers)
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	names := map[Algorithm]string{
+		Sequential: "sequential", EventDriven: "event-driven",
+		Compiled: "compiled", Async: "asynchronous",
+		DistAsync: "distributed-async", TimeWarp: "time-warp",
+		ChandyMisra: "chandy-misra", Algorithm(99): "unknown",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+func TestNetlistRoundTripViaFacade(t *testing.T) {
+	c := BenchFeedbackChain(5)
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Name != c.Name || len(c2.Elems) != len(c.Elems) {
+		t.Errorf("round trip mangled the circuit")
+	}
+	if !strings.Contains(NetlistSummary(c), "feedback-chain-5") {
+		t.Error("summary missing circuit name")
+	}
+}
+
+func TestVCDOutput(t *testing.T) {
+	c := buildBlinker(t)
+	rec := NewRecorder()
+	if _, err := Simulate(c, Options{Algorithm: Sequential, Horizon: 40, Probe: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, c, rec, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"$timescale", "$var wire 1", "clk", "$dumpvars", "#0", "#40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventDrivenAblationsAgree(t *testing.T) {
+	c := BenchInverterArray(InverterArrayConfig{Rows: 4, Cols: 4, ActiveRows: 4, TogglePeriod: 1})
+	ref := NewRecorder()
+	if _, err := Simulate(c, Options{Algorithm: Sequential, Horizon: 100, Probe: ref}); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Algorithm: EventDriven, Horizon: 100, Workers: 3, NoSteal: true},
+		{Algorithm: EventDriven, Horizon: 100, Workers: 3, CentralQueue: true},
+	} {
+		rec := NewRecorder()
+		opts.Probe = rec
+		if _, err := Simulate(c, opts); err != nil {
+			t.Fatal(err)
+		}
+		if d := HistoryDiff(c, ref, rec); d != "" {
+			t.Errorf("ablation differs: %s", d)
+		}
+	}
+}
+
+func TestGateLookaheadOption(t *testing.T) {
+	c := BenchCPU(DefaultCPU())
+	h := CPUHorizon(DefaultCPU(), 15)
+	ref := NewRecorder()
+	if _, err := Simulate(c, Options{Algorithm: Sequential, Horizon: h, Probe: ref}); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	res, err := Simulate(c, Options{
+		Algorithm: Async, Workers: 2, Horizon: h, Probe: rec, GateLookahead: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := HistoryDiff(c, ref, rec); d != "" {
+		t.Fatalf("gate lookahead changed results: %s", d)
+	}
+	if res.Stats.ModelCalls == 0 {
+		t.Error("no model calls recorded")
+	}
+}
+
+func TestCompiledStrategyOption(t *testing.T) {
+	c := BenchInverterArray(InverterArrayConfig{Rows: 4, Cols: 4, ActiveRows: 4, TogglePeriod: 1})
+	for _, s := range []Strategy{RoundRobin, Blocks, CostLPT} {
+		if _, err := Simulate(c, Options{Algorithm: Compiled, Horizon: 50, Workers: 2, Strategy: s}); err != nil {
+			t.Fatalf("strategy %v: %v", s, err)
+		}
+	}
+}
+
+func TestIsUnitDelay(t *testing.T) {
+	if !IsUnitDelay(BenchInverterArray(DefaultInverterArray())) {
+		t.Error("inverter array should be unit delay")
+	}
+	if IsUnitDelay(BenchCPU(DefaultCPU())) {
+		t.Error("CPU is not unit delay")
+	}
+}
+
+func TestCPUFacade(t *testing.T) {
+	cfg := DefaultCPU()
+	c := BenchCPU(cfg)
+	res, err := Simulate(c, Options{Algorithm: Async, Workers: 2, Horizon: CPUHorizon(cfg, 150)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iss := NewISS(cfg.Program)
+	iss.Run(150)
+	for r := 0; r < 16; r++ {
+		got, ok := CPURegValue(c, res.Final, r)
+		if !ok || got != iss.Reg[r] {
+			t.Errorf("r%d = %d (ok=%v), ISS %d", r, got, ok, iss.Reg[r])
+		}
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if V(4, 9).String() != "4'b1001" {
+		t.Error("V broken")
+	}
+	v, err := ParseValue("8'hff")
+	if err != nil || v.MustUint() != 255 {
+		t.Error("ParseValue broken")
+	}
+	if AllX(2).IsKnown() || !AllZ(2).HasZ() {
+		t.Error("AllX/AllZ broken")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	cfg := DefaultExperimentConfig(ModelMode)
+	cfg.Quick = true
+	cfg.MaxP = 4
+	f, err := Experiment("fig5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("fig5 has %d series", len(f.Series))
+	}
+	if !strings.Contains(f.Format(), "asynchronous") {
+		t.Error("figure formatting broken")
+	}
+	if _, err := Experiment("nope", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) != 10 {
+		t.Errorf("expected 10 experiments, have %d", len(ExperimentIDs()))
+	}
+}
+
+// TestQuickAllAlgorithmsOnRandomCircuits is the top-level differential
+// property: on randomized unit-delay circuits, every algorithm in the
+// library produces the same node histories.
+func TestQuickAllAlgorithmsOnRandomCircuits(t *testing.T) {
+	algs := []Algorithm{EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra}
+	for seed := int64(100); seed < 105; seed++ {
+		c := RandomUnitCircuit(seed, 50+int(seed%3)*20)
+		horizon := Time(150 + seed%5*30)
+		workers := 2 + int(seed%3)
+
+		ref := NewRecorder()
+		if _, err := Simulate(c, Options{Algorithm: Sequential, Horizon: horizon, Probe: ref}); err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range algs {
+			rec := NewRecorder()
+			if _, err := Simulate(c, Options{
+				Algorithm: alg, Workers: workers, Horizon: horizon, Probe: rec,
+			}); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, alg, err)
+			}
+			if d := HistoryDiff(c, ref, rec); d != "" {
+				t.Errorf("seed %d: %v differs: %s", seed, alg, d)
+			}
+		}
+	}
+}
+
+// TestQuickAsyncOptionMatrix sweeps the async algorithm's option space on
+// circuits with multi-delay elements and feedback.
+func TestQuickAsyncOptionMatrix(t *testing.T) {
+	for seed := int64(200); seed < 206; seed++ {
+		c := RandomCircuit(seed, 70)
+		ref := NewRecorder()
+		if _, err := Simulate(c, Options{Algorithm: Sequential, Horizon: 200, Probe: ref}); err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{
+			{Algorithm: Async, Workers: 3},
+			{Algorithm: Async, Workers: 3, NoLookahead: true},
+			{Algorithm: Async, Workers: 3, GateLookahead: true},
+			{Algorithm: Async, Workers: 1, GateLookahead: true, NoLookahead: true},
+			{Algorithm: ChandyMisra, Workers: 2},
+		} {
+			opts.Horizon = 200
+			rec := NewRecorder()
+			opts.Probe = rec
+			if _, err := Simulate(c, opts); err != nil {
+				t.Fatal(err)
+			}
+			if d := HistoryDiff(c, ref, rec); d != "" {
+				t.Errorf("seed %d opts %+v: %s", seed, opts, d)
+			}
+		}
+	}
+}
