@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet check figures clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race runs the cancellation and concurrency-sensitive tests under the
+## race detector; it is slower than `test` but catches data races the
+## plain run cannot.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+## figures regenerates the quick machine-readable benchmark snapshot.
+figures:
+	$(GO) run ./cmd/figures -quick -json BENCH_baseline.json
+
+clean:
+	$(GO) clean ./...

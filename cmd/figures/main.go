@@ -7,9 +7,11 @@
 //	figures                 # every experiment on the virtual 16-CPU model
 //	figures -fig fig5       # one experiment
 //	figures -mode real      # measure the actual parallel simulators
+//	figures -json out.json  # also write machine-readable series
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 		maxP  = flag.Int("maxp", 0, "highest processor count (default: 16 model, NumCPU real)")
 		quick = flag.Bool("quick", false, "smaller horizons for a fast pass")
 		chart = flag.Bool("chart", true, "render ASCII charts alongside the tables")
+		jsonP = flag.String("json", "", "write the experiments as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -48,15 +51,46 @@ func main() {
 	if *figID != "all" {
 		ids = strings.Split(*figID, ",")
 	}
+	var figures []*parsim.Figure
 	for _, id := range ids {
 		f, err := parsim.Experiment(id, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
-		fmt.Println(f.Format())
-		if *chart {
-			fmt.Println(f.Chart(72, 18))
+		figures = append(figures, f)
+		if *jsonP == "" {
+			fmt.Println(f.Format())
+			if *chart {
+				fmt.Println(f.Chart(72, 18))
+			}
 		}
 	}
+	if *jsonP != "" {
+		if err := writeJSON(*jsonP, *mode, *quick, figures); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonDoc is the machine-readable snapshot format: enough provenance to
+// compare two runs, plus the raw series of every experiment.
+type jsonDoc struct {
+	Mode    string           `json:"mode"`
+	Quick   bool             `json:"quick"`
+	Figures []*parsim.Figure `json:"figures"`
+}
+
+func writeJSON(path, mode string, quick bool, figures []*parsim.Figure) error {
+	buf, err := json.MarshalIndent(jsonDoc{Mode: mode, Quick: quick, Figures: figures}, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
 }

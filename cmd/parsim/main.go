@@ -1,4 +1,5 @@
-// Command parsim simulates a netlist with any of the four algorithms.
+// Command parsim simulates a netlist with any of the registered
+// algorithms.
 //
 // Usage:
 //
@@ -7,10 +8,13 @@
 //
 // The built-in benchmark circuits are available without a netlist file via
 // -bench (inverter-array, mult16-gate, mult16-func, microprocessor,
-// feedback-chain).
+// feedback-chain). -timeout bounds the wall-clock time of a run; on expiry
+// the partial statistics accumulated so far are printed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,15 +22,17 @@ import (
 	"strings"
 
 	"parsim"
+	"parsim/internal/engine"
 )
 
 func main() {
 	var (
 		netlistPath = flag.String("netlist", "", "netlist file to simulate")
 		benchName   = flag.String("bench", "", "built-in benchmark circuit: inverter-array, mult16-gate, mult16-func, microprocessor, feedback-chain")
-		algName     = flag.String("alg", "async", "algorithm: seq, event, compiled, async, dist, timewarp, cm")
+		algName     = flag.String("alg", "async", "algorithm: "+strings.Join(engine.Names(), ", ")+" (or an alias: seq, event, async, dist, tw, cm)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel workers")
 		horizon     = flag.Int64("horizon", 1000, "simulation horizon in ticks")
+		timeout     = flag.Duration("timeout", 0, "cancel the run after this wall-clock duration (0 = none)")
 		watch       = flag.String("watch", "", "comma-separated node names to trace")
 		vcdPath     = flag.String("vcd", "", "write watched-node waveforms to this VCD file")
 		noSteal     = flag.Bool("no-steal", false, "event-driven: disable work stealing")
@@ -44,20 +50,21 @@ func main() {
 		fmt.Print(parsim.NetlistSummary(c))
 	}
 
-	alg, err := parseAlg(*algName)
+	// Resolve the algorithm through the engine registry: the same dispatch
+	// table the library facade and the figure harness use.
+	eng, err := engine.Get(*algName)
 	if err != nil {
 		fatal(err)
 	}
-	opts := parsim.Options{
-		Algorithm:    alg,
+	cfg := engine.Config{
 		Workers:      *workers,
 		Horizon:      parsim.Time(*horizon),
 		CostSpin:     *spin,
 		NoSteal:      *noSteal,
 		CentralQueue: *central,
 	}
-	if alg == parsim.Sequential {
-		opts.Workers = 1
+	if eng.Name() == "sequential" {
+		cfg.Workers = 1
 	}
 
 	var rec *parsim.Recorder
@@ -71,18 +78,27 @@ func main() {
 			watched = append(watched, n.ID)
 		}
 		rec = parsim.NewRecorderFor(watched...)
-		opts.Probe = rec
+		cfg.Probe = rec
 	}
 
-	res, err := parsim.Simulate(c, opts)
-	if err != nil {
-		fatal(err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	fmt.Println(res.Stats.String())
+	rep, err := engine.RunEngine(ctx, eng, c, cfg)
+	if err != nil {
+		if rep == nil || !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		fmt.Printf("run cancelled after %v: %v (partial statistics follow)\n", *timeout, err)
+	}
+	fmt.Println(rep.Run.String())
 
 	for _, n := range watched {
 		fmt.Printf("%s: final=%v, %d changes\n",
-			c.Nodes[n].Name, res.Final[n], len(rec.History(n)))
+			c.Nodes[n].Name, rep.Final[n], len(rec.History(n)))
 	}
 	if *vcdPath != "" && rec != nil {
 		f, err := os.Create(*vcdPath)
@@ -90,7 +106,7 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := parsim.WriteVCD(f, c, rec, opts.Horizon, watched...); err != nil {
+		if err := parsim.WriteVCD(f, c, rec, cfg.Horizon, watched...); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *vcdPath)
@@ -126,27 +142,7 @@ func loadCircuit(path, bench string) (*parsim.Circuit, error) {
 	return nil, fmt.Errorf("need -netlist or -bench")
 }
 
-func parseAlg(s string) (parsim.Algorithm, error) {
-	switch s {
-	case "seq", "sequential":
-		return parsim.Sequential, nil
-	case "event", "event-driven":
-		return parsim.EventDriven, nil
-	case "compiled":
-		return parsim.Compiled, nil
-	case "async", "asynchronous":
-		return parsim.Async, nil
-	case "dist", "distributed":
-		return parsim.DistAsync, nil
-	case "timewarp", "tw", "optimistic":
-		return parsim.TimeWarp, nil
-	case "cm", "chandy-misra":
-		return parsim.ChandyMisra, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q (want seq, event, compiled, async, dist, timewarp or cm)", s)
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "parsim:", err)
+	fmt.Fprintln(os.Stderr, "parsim:", strings.TrimPrefix(err.Error(), "parsim: "))
 	os.Exit(1)
 }

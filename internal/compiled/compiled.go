@@ -7,11 +7,14 @@
 package compiled
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsim/internal/barrier"
 	"parsim/internal/circuit"
+	"parsim/internal/engine"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -54,28 +57,41 @@ type sim struct {
 	parts [][]circuit.ElemID
 	bar   *barrier.Barrier
 
-	updates []int64
-	evals   []int64
-	idle    []time.Duration
+	wc     []stats.WorkerCounters
+	cancel *engine.CancelFlag
+	// stopAt, when > 0, is the step at which every worker exits. Worker 0
+	// publishes it during step stopAt-1; the step barrier makes the write
+	// visible to all workers before any of them reaches step stopAt, so the
+	// whole gang leaves the loop at the same step boundary and nobody is
+	// left waiting on the barrier.
+	stopAt atomic.Int64
 }
 
 // Run simulates the circuit in compiled mode and returns statistics and the
 // node values after the final step.
 func Run(c *circuit.Circuit, opts Options) *Result {
+	res, _ := RunContext(context.Background(), c, opts)
+	return res
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled all workers
+// stop together at the next time step and the partial result is returned
+// with ctx.Err().
+func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		panic("compiled: need at least one worker")
 	}
 	p := opts.Workers
 	s := &sim{
-		c:       c,
-		opts:    opts,
-		p:       p,
-		parts:   partition.Split(c, p, opts.Strategy),
-		bar:     barrier.New(p),
-		updates: make([]int64, p),
-		evals:   make([]int64, p),
-		idle:    make([]time.Duration, p),
+		c:      c,
+		opts:   opts,
+		p:      p,
+		parts:  partition.Split(c, p, opts.Strategy),
+		bar:    barrier.New(p),
+		wc:     make([]stats.WorkerCounters, p),
+		cancel: engine.WatchCancel(ctx),
 	}
+	defer s.cancel.Release()
 	for side := range s.buf {
 		s.buf[side] = make([]logic.Value, len(c.Nodes))
 	}
@@ -102,7 +118,7 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 			if opts.Probe != nil {
 				opts.Probe.OnChange(n, 0, v)
 			}
-			s.updates[0]++
+			s.wc[0].NodeUpdates++
 		}
 	}
 
@@ -118,9 +134,15 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 	wg.Wait()
 	wall := time.Since(start)
 
+	steps := int64(opts.Horizon)
 	final := s.buf[int(opts.Horizon-1)&1]
 	if opts.Horizon <= 0 {
 		final = s.buf[0]
+	}
+	if sa := s.stopAt.Load(); sa > 0 && circuit.Time(sa) < opts.Horizon-1 {
+		// Cancelled: the last completed step wrote values for time sa.
+		steps = sa + 1
+		final = s.buf[int(sa)&1]
 	}
 	res := &Result{Final: final}
 	res.Run = stats.Run{
@@ -128,27 +150,19 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		Circuit:   c.Name,
 		Horizon:   opts.Horizon,
 		Workers:   p,
-		TimeSteps: int64(opts.Horizon),
-		Wall:      wall,
-		Busy:      make([]time.Duration, p),
+		TimeSteps: steps,
 	}
 	for w := 0; w < p; w++ {
-		res.Run.NodeUpdates += s.updates[w]
-		res.Run.Evals += s.evals[w]
-		res.Run.ModelCalls += s.evals[w]
-		busy := wall - s.idle[w]
-		if busy < 0 {
-			busy = 0
-		}
-		res.Run.Busy[w] = busy
+		s.wc[w].ModelCalls = s.wc[w].Evals
 	}
-	return res
+	res.Run.Aggregate(wall, s.wc)
+	return res, s.cancel.Err(ctx)
 }
 
 func (s *sim) worker(id int) {
 	var sense barrier.Sense
 	var idle time.Duration
-	defer func() { s.idle[id] = idle }()
+	defer func() { s.wc[id].Idle = idle }()
 
 	part := s.parts[id]
 	var gens []circuit.ElemID
@@ -163,6 +177,12 @@ func (s *sim) worker(id int) {
 	// Step t computes node values for t+1: read side t&1, write side
 	// (t+1)&1. The final step is Horizon-2 -> values at Horizon-1.
 	for t := circuit.Time(0); t < s.opts.Horizon-1; t++ {
+		if sa := s.stopAt.Load(); sa > 0 && t >= circuit.Time(sa) {
+			return
+		}
+		if id == 0 && s.cancel.Cancelled() {
+			s.stopAt.CompareAndSwap(0, int64(t)+1)
+		}
 		cur := s.buf[t&1]
 		next := s.buf[(t+1)&1]
 
@@ -172,7 +192,7 @@ func (s *sim) worker(id int) {
 		}
 		for _, eid := range part {
 			el := &s.c.Elems[eid]
-			s.evals[id]++
+			s.wc[id].Evals++
 			if cap(inBuf) < len(el.In) {
 				inBuf = make([]logic.Value, len(el.In))
 			}
@@ -194,6 +214,7 @@ func (s *sim) worker(id int) {
 		}
 
 		t0 := time.Now()
+		s.wc[id].BarrierWaits++
 		s.bar.Wait(&sense)
 		idle += time.Since(t0)
 	}
@@ -208,7 +229,7 @@ func (s *sim) write(id int, n circuit.NodeID, t circuit.Time, v logic.Value,
 	if v.Equal(cur[n]) {
 		return
 	}
-	s.updates[id]++
+	s.wc[id].NodeUpdates++
 	if s.opts.Probe != nil {
 		s.opts.Probe.OnChange(n, t, v)
 	}

@@ -26,12 +26,14 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parsim/internal/circuit"
+	"parsim/internal/engine"
 	"parsim/internal/logic"
 	"parsim/internal/spsc"
 	"parsim/internal/stats"
@@ -132,35 +134,38 @@ type sim struct {
 	queues  [][]*spsc.Queue[circuit.ElemID] // [target][source]
 	pending atomic.Int64
 
-	evals      []int64
-	modelCalls []int64
-	updates    []int64
-	eventsUsed []int64
-	idle       []time.Duration
+	wc     []stats.WorkerCounters
+	cancel *engine.CancelFlag
 }
 
 // Run simulates the circuit with opts.Workers lock-free workers.
 func Run(c *circuit.Circuit, opts Options) *Result {
+	res, _ := RunContext(context.Background(), c, opts)
+	return res
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled every worker
+// stops at its next queue poll (or between events inside a long element
+// activation) and the partial result is returned with ctx.Err().
+func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		panic("core: need at least one worker")
 	}
 	p := opts.Workers
 	s := &sim{
-		c:          c,
-		opts:       opts,
-		p:          p,
-		hist:       make([]history, len(c.Nodes)),
-		first:      make([]*hchunk, len(c.Nodes)),
-		cursors:    make([][]cursor, len(c.Elems)),
-		estate:     make([]atomic.Int32, len(c.Elems)),
-		state:      make([][]logic.Value, len(c.Elems)),
-		queues:     make([][]*spsc.Queue[circuit.ElemID], p),
-		evals:      make([]int64, p),
-		modelCalls: make([]int64, p),
-		updates:    make([]int64, p),
-		eventsUsed: make([]int64, p),
-		idle:       make([]time.Duration, p),
+		c:       c,
+		opts:    opts,
+		p:       p,
+		hist:    make([]history, len(c.Nodes)),
+		first:   make([]*hchunk, len(c.Nodes)),
+		cursors: make([][]cursor, len(c.Elems)),
+		estate:  make([]atomic.Int32, len(c.Elems)),
+		state:   make([][]logic.Value, len(c.Elems)),
+		queues:  make([][]*spsc.Queue[circuit.ElemID], p),
+		wc:      make([]stats.WorkerCounters, p),
+		cancel:  engine.WatchCancel(ctx),
 	}
+	defer s.cancel.Release()
 	for i := range c.Nodes {
 		ch := &hchunk{}
 		s.first[i] = ch
@@ -202,6 +207,9 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		h := &s.hist[n]
 		var t circuit.Time
 		for t < opts.Horizon {
+			if s.cancel.Cancelled() {
+				break // generators can span huge horizons; stop materialising
+			}
 			v := el.GenValueAt(t)
 			if !v.Equal(h.last) {
 				s.appendEvent(0, n, t, v)
@@ -235,6 +243,9 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 			}(w)
 		}
 		wg.Wait()
+		if s.cancel.Cancelled() {
+			break
+		}
 		if !s.opts.DeadlockRecovery || !s.recoverDeadlock() {
 			break
 		}
@@ -251,21 +262,9 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		Circuit:   c.Name,
 		Horizon:   opts.Horizon,
 		Workers:   p,
-		Wall:      wall,
-		Busy:      make([]time.Duration, p),
 	}
-	for w := 0; w < p; w++ {
-		res.Run.NodeUpdates += s.updates[w]
-		res.Run.Evals += s.evals[w]
-		res.Run.ModelCalls += s.modelCalls[w]
-		res.Run.EventsUsed += s.eventsUsed[w]
-		busy := wall - s.idle[w]
-		if busy < 0 {
-			busy = 0
-		}
-		res.Run.Busy[w] = busy
-	}
-	return res
+	res.Run.Aggregate(wall, s.wc)
+	return res, s.cancel.Err(ctx)
 }
 
 // appendEvent publishes one value change on node n at time t. Caller must
@@ -288,7 +287,7 @@ func (s *sim) appendEvent(worker int, n circuit.NodeID, t circuit.Time, v logic.
 	}
 	c.slots[off] = event{t: t, v: v}
 	h.count.Store(idx + 1) // publish after the slot write
-	s.updates[worker]++
+	s.wc[worker].NodeUpdates++
 	if s.opts.Probe != nil {
 		s.opts.Probe.OnChange(n, t, v)
 	}
@@ -312,8 +311,11 @@ func newWorker(s *sim, id int) *worker {
 
 func (w *worker) run() {
 	s := w.s
-	defer func() { s.idle[w.id] = w.idle }()
+	defer func() { s.wc[w.id].Idle = w.idle }()
 	for {
+		if s.cancel.Cancelled() {
+			return // every worker polls the flag, so all exit independently
+		}
 		t0 := time.Now()
 		found := false
 		for src := 0; src < s.p; src++ {
@@ -330,6 +332,7 @@ func (w *worker) run() {
 		}
 		// Out of local work while others still run: this is the only spin
 		// in the algorithm, and it is starvation, not synchronisation.
+		s.wc[w.id].IdlePolls++
 		runtime.Gosched()
 		w.idle += time.Since(t0)
 	}
@@ -400,7 +403,7 @@ func (cu *cursor) peek(count int64) (event, bool) {
 func (w *worker) evalElement(e circuit.ElemID) {
 	s := w.s
 	el := &s.c.Elems[e]
-	s.evals[w.id]++
+	s.wc[w.id].Evals++
 	cs := s.cursors[e]
 
 	// Step 1-2: min-valid across inputs; load published counts once so the
@@ -475,7 +478,7 @@ func (w *worker) evalElement(e circuit.ElemID) {
 						}
 						cs[port].val = ev.v
 						cs[port].pos++
-						s.eventsUsed[w.id]++
+						s.wc[w.id].EventsUsed++
 					}
 				}
 				effValid = tau
@@ -487,8 +490,13 @@ func (w *worker) evalElement(e circuit.ElemID) {
 	for i := range appended {
 		appended[i] = false
 	}
-	// Step 4: consume events before min-valid in merged time order.
+	// Step 4: consume events before min-valid in merged time order. A
+	// single activation can consume an unbounded number of events, so the
+	// cancellation flag is polled between merged time points too.
 	for {
+		if s.cancel.Cancelled() {
+			break
+		}
 		tmin := circuit.Time(-1)
 		for port := range cs {
 			if ev, ok := cs[port].peek(counts[port]); ok && ev.t < circuit.Time(minValid) {
@@ -504,12 +512,12 @@ func (w *worker) evalElement(e circuit.ElemID) {
 			if ev, ok := cs[port].peek(counts[port]); ok && ev.t == tmin {
 				cs[port].val = ev.v
 				cs[port].pos++
-				s.eventsUsed[w.id]++
+				s.wc[w.id].EventsUsed++
 			}
 			in[port] = cs[port].val
 		}
 		el.Eval(in, s.state[e], out)
-		s.modelCalls[w.id]++
+		s.wc[w.id].ModelCalls++
 		if s.opts.CostSpin > 0 {
 			circuit.Spin(el.Cost * s.opts.CostSpin)
 		}

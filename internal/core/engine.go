@@ -1,0 +1,41 @@
+package core
+
+import (
+	"context"
+
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+)
+
+// eng adapts the asynchronous simulator to the unified engine layer. The
+// same package backs two registry entries: the paper's semi-chaotic
+// algorithm and the Chandy-Misra deadlock-recovery discipline it is
+// contrasted with.
+type eng struct {
+	name             string
+	deadlockRecovery bool
+}
+
+func (e eng) Name() string { return e.name }
+
+func (e eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*engine.Report, error) {
+	res, err := RunContext(ctx, c, Options{
+		Workers:          cfg.Workers,
+		Horizon:          cfg.Horizon,
+		Probe:            cfg.Probe,
+		CostSpin:         cfg.CostSpin,
+		NoLookahead:      cfg.NoLookahead,
+		GateLookahead:    cfg.GateLookahead,
+		DeadlockRecovery: e.deadlockRecovery,
+	})
+	rep := &engine.Report{Run: res.Run, Final: res.Final}
+	if e.deadlockRecovery {
+		rep.Rounds = res.Rounds
+	}
+	return rep, err
+}
+
+func init() {
+	engine.Register(eng{name: "asynchronous"}, "async", "semi-chaotic")
+	engine.Register(eng{name: "chandy-misra", deadlockRecovery: true}, "cm", "deadlock-recovery")
+}

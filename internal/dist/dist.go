@@ -17,10 +17,12 @@
 package dist
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"parsim/internal/circuit"
+	"parsim/internal/engine"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -79,10 +81,21 @@ const reclaimThreshold = 256
 
 // Run simulates the circuit on opts.Workers message-passing workers.
 func Run(c *circuit.Circuit, opts Options) *Result {
+	res, _ := RunContext(context.Background(), c, opts)
+	return res
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled every worker
+// stops at its next queue poll or blocking wait and the partial result is
+// returned with ctx.Err(). In-flight messages are abandoned; termination
+// detection is bypassed.
+func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		panic("dist: need at least one worker")
 	}
 	p := opts.Workers
+	cancel := engine.WatchCancel(ctx)
+	defer cancel.Release()
 	parts := partition.Split(c, p, opts.Strategy)
 
 	// elemOwner[i] = worker owning element i; nodeOwner likewise via driver.
@@ -101,6 +114,8 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 	for w := 0; w < p; w++ {
 		workers[w] = newWorker(c, opts, w, p, parts[w], elemOwner)
 		workers[w].done = done
+		workers[w].cancel = cancel
+		workers[w].ctxDone = ctx.Done()
 	}
 	// Wire channels and subscriber lists.
 	for w := 0; w < p; w++ {
@@ -129,6 +144,9 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		r := w.replicaFor(n)
 		var t circuit.Time
 		for t < opts.Horizon {
+			if cancel.Cancelled() {
+				break // generators can span huge horizons; stop materialising
+			}
 			v := el.GenValueAt(t)
 			if !v.Equal(r.last) {
 				w.append(n, t, v)
@@ -172,20 +190,12 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		Circuit:   c.Name,
 		Horizon:   opts.Horizon,
 		Workers:   p,
-		Wall:      wall,
-		Busy:      make([]time.Duration, p),
 	}
+	per := make([]stats.WorkerCounters, p)
 	for w := 0; w < p; w++ {
-		res.Run.NodeUpdates += workers[w].nUpdates
-		res.Run.Evals += workers[w].nEvals
-		res.Run.ModelCalls += workers[w].nModelCalls
-		res.Run.EventsUsed += workers[w].nEvents
-		res.Messages += workers[w].nMsgs
-		busy := wall - workers[w].idleTime
-		if busy < 0 {
-			busy = 0
-		}
-		res.Run.Busy[w] = busy
+		per[w] = workers[w].wc
+		res.Messages += workers[w].wc.Messages
 	}
-	return res
+	res.Run.Aggregate(wall, per)
+	return res, cancel.Err(ctx)
 }

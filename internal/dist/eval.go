@@ -20,7 +20,7 @@ func peek(r *replica, cu *cursor) (event, bool) {
 // subscribers and activate local consumers.
 func (w *worker) evalElement(e circuit.ElemID) {
 	el := &w.c.Elems[e]
-	w.nEvals++
+	w.wc.Evals++
 	cs := w.cursors[e]
 
 	minValid := int64(w.opts.Horizon)
@@ -44,7 +44,12 @@ func (w *worker) evalElement(e circuit.ElemID) {
 		w.staged[n] = w.staged[n][:0]
 	}
 
+	// A single activation can consume an unbounded number of events, so the
+	// cancellation flag is polled between merged time points too.
 	for {
+		if w.cancel.Cancelled() {
+			break
+		}
 		tmin := circuit.Time(-1)
 		for port, n := range el.In {
 			if ev, ok := peek(w.replicas[n], &cs[port]); ok && int64(ev.t) < minValid {
@@ -60,12 +65,12 @@ func (w *worker) evalElement(e circuit.ElemID) {
 			if ev, ok := peek(w.replicas[n], &cs[port]); ok && ev.t == tmin {
 				cs[port].val = ev.v
 				cs[port].pos++
-				w.nEvents++
+				w.wc.EventsUsed++
 			}
 			in[port] = cs[port].val
 		}
 		el.Eval(in, w.state[e], out)
-		w.nModelCalls++
+		w.wc.ModelCalls++
 		if w.opts.CostSpin > 0 {
 			circuit.Spin(el.Cost * w.opts.CostSpin)
 		}
@@ -82,7 +87,7 @@ func (w *worker) evalElement(e circuit.ElemID) {
 			r.final = out[p]
 			r.events = append(r.events, event{t: t, v: out[p]})
 			w.staged[n] = append(w.staged[n], event{t: t, v: out[p]})
-			w.nUpdates++
+			w.wc.NodeUpdates++
 			if w.opts.Probe != nil {
 				w.opts.Probe.OnChange(n, t, out[p])
 			}

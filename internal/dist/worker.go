@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"parsim/internal/circuit"
+	"parsim/internal/engine"
 	"parsim/internal/logic"
+	"parsim/internal/stats"
 )
 
 // cursor is one (element, input port) consumer position into a replica.
@@ -26,6 +28,8 @@ type worker struct {
 	inbox   chan msg
 	tokenIn chan token
 	done    chan struct{}
+	cancel  *engine.CancelFlag
+	ctxDone <-chan struct{}
 
 	subscribers map[circuit.NodeID][]int
 
@@ -47,9 +51,9 @@ type worker struct {
 	heldToken    token
 	probeOut     bool // worker 0: a probe is circulating
 
-	// Statistics.
-	nUpdates, nEvals, nModelCalls, nEvents, nMsgs int64
-	idleTime                                      time.Duration
+	// Statistics. Plain fields: each worker struct lives inside one
+	// goroutine and is aggregated only after wg.Wait().
+	wc stats.WorkerCounters
 
 	inBuf, outBuf []logic.Value
 }
@@ -117,7 +121,7 @@ func (w *worker) append(n circuit.NodeID, t circuit.Time, v logic.Value) {
 	}
 	r.final = v
 	r.events = append(r.events, event{t: t, v: v})
-	w.nUpdates++
+	w.wc.NodeUpdates++
 	if w.opts.Probe != nil {
 		w.opts.Probe.OnChange(n, t, v)
 	}
@@ -171,8 +175,11 @@ func (w *worker) preStartFlush() {
 func (w *worker) send(to int, m msg) {
 	w.black = true
 	w.msgCount++
-	w.nMsgs++
+	w.wc.Messages++
 	for {
+		if w.cancel.Cancelled() {
+			return // receiver may have exited; abandon the message
+		}
 		select {
 		case w.peers[to].inbox <- m:
 			return
@@ -217,6 +224,9 @@ func (w *worker) drainInbox() {
 
 func (w *worker) run() {
 	for {
+		if w.cancel.Cancelled() {
+			return // all workers poll the flag, so the gang exits together
+		}
 		w.drainInbox()
 		if len(w.queue) > 0 {
 			e := w.queue[0]
@@ -246,16 +256,20 @@ func (w *worker) run() {
 		}
 
 		t0 := time.Now()
+		w.wc.IdlePolls++
 		select {
 		case m := <-w.inbox:
-			w.idleTime += time.Since(t0)
+			w.wc.Idle += time.Since(t0)
 			w.handleMsg(m)
 		case tok := <-w.tokenIn:
-			w.idleTime += time.Since(t0)
+			w.wc.Idle += time.Since(t0)
 			w.heldToken = tok
 			w.holdingToken = true
 		case <-w.done:
-			w.idleTime += time.Since(t0)
+			w.wc.Idle += time.Since(t0)
+			return
+		case <-w.ctxDone:
+			w.wc.Idle += time.Since(t0)
 			return
 		}
 	}

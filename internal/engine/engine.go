@@ -1,0 +1,207 @@
+// Package engine is the unified simulation-engine layer: one interface,
+// one configuration struct and one registry shared by all seven
+// simulators (sequential, event-driven, compiled, asynchronous,
+// Chandy-Misra, distributed-async and Time Warp).
+//
+// The paper's point is that the same circuits run under interchangeable
+// algorithms whose only differences are scheduling and synchronisation.
+// This package makes that interchangeability concrete: the facade, the
+// CLIs, the figure harness and the benchmarks all resolve an algorithm by
+// name through the registry instead of hand-rolling per-algorithm
+// dispatch, every engine accepts the same Config, honours context
+// cancellation, and reports the same per-worker counter surface
+// (stats.WorkerCounters).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+	"parsim/internal/partition"
+	"parsim/internal/stats"
+	"parsim/internal/trace"
+)
+
+// Config is the shared configuration accepted by every engine. Fields that
+// do not apply to an algorithm are ignored by it (e.g. Strategy outside
+// the statically partitioned engines, NoSteal outside event-driven).
+type Config struct {
+	Workers int          // parallel workers; 0 defaults to 1
+	Horizon circuit.Time // simulate t in [0, Horizon); must be >= 0
+	Probe   trace.Probe  // optional observer; must be concurrency-safe for parallel engines
+	// CostSpin > 0 burns CostSpin x the element's Cost of synthetic work
+	// per evaluation, restoring the paper's gate-vs-functional evaluation
+	// cost spread for benchmarking.
+	CostSpin int64
+	// Strategy selects the static partitioner (compiled, dist, timewarp).
+	Strategy partition.Strategy
+	// CollectAvail records the elements-available-per-step histogram
+	// (sequential and event-driven engines).
+	CollectAvail bool
+
+	// Ablation flags, honoured by the engine they name.
+	NoSteal       bool // event-driven: disable end-of-phase work stealing
+	CentralQueue  bool // event-driven: the paper's contended single-queue design
+	NoLookahead   bool // asynchronous: disable clocked-element lookahead
+	GateLookahead bool // asynchronous: controlling-value gate lookahead
+	StepsPerRound int  // time-warp: optimistic steps per GVT round (0 = default)
+}
+
+// Report is the uniform outcome of a run. Per-algorithm counters live in
+// Run.PerWorker (zero where not applicable); only genuinely global,
+// non-summable metrics get their own field.
+type Report struct {
+	Run   stats.Run
+	Final []logic.Value // node values at the horizon, indexed by NodeID
+	// PeakLog is the peak saved-state footprint (time-warp only).
+	PeakLog int64
+	// Rounds counts Chandy-Misra deadlock recoveries (chandy-misra only;
+	// 1 means the run never deadlocked).
+	Rounds int64
+	// GVTRounds counts time-warp synchronisation rounds.
+	GVTRounds int64
+}
+
+// Engine is one simulation algorithm. Run simulates c over [0,
+// cfg.Horizon) and returns statistics plus final node values. When ctx is
+// cancelled mid-run the engine stops within one scheduling quantum (a time
+// step, a GVT round, or a queue poll) and returns the partial Report
+// together with ctx.Err().
+type Engine interface {
+	// Name is the canonical registry name (matches Algorithm.String()).
+	Name() string
+	Run(ctx context.Context, c *circuit.Circuit, cfg Config) (*Report, error)
+}
+
+// ---- registry ----
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Engine{}
+	canon    []string // canonical names in registration order
+)
+
+// Register adds an engine under its canonical name plus any aliases.
+// Engines self-register from init, so registering a duplicate name panics.
+func Register(e Engine, aliases ...string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := append([]string{e.Name()}, aliases...)
+	for _, n := range names {
+		key := strings.ToLower(n)
+		if _, dup := registry[key]; dup {
+			panic("engine: duplicate registration of " + key)
+		}
+		registry[key] = e
+	}
+	canon = append(canon, e.Name())
+}
+
+// Get resolves an engine by canonical name or alias (case-insensitive).
+func Get(name string) (Engine, error) {
+	regMu.RLock()
+	e, ok := registry[strings.ToLower(strings.TrimSpace(name))]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("parsim: unknown algorithm %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return e, nil
+}
+
+// Names returns the canonical engine names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]string(nil), canon...)
+	sort.Strings(out)
+	return out
+}
+
+// Run resolves name through the registry, validates cfg once for every
+// engine, and runs. This is the single dispatch point for the facade,
+// the CLIs, the harness and the benchmarks.
+func Run(ctx context.Context, name string, c *circuit.Circuit, cfg Config) (*Report, error) {
+	e, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return RunEngine(ctx, e, c, cfg)
+}
+
+// RunEngine validates cfg (the one place worker counts and horizons are
+// checked) and invokes e.
+func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*Report, error) {
+	if c == nil {
+		return nil, fmt.Errorf("parsim: nil circuit")
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("parsim: negative horizon %d: Horizon is the exclusive end of simulated time and must be >= 0", cfg.Horizon)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("parsim: invalid worker count %d: Workers must be positive (or 0 for the default of 1)", cfg.Workers)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.Run(ctx, c, cfg)
+}
+
+// ---- cancellation support ----
+
+// CancelFlag is a cheap, atomically readable view of a context's
+// cancellation state, for polling inside simulator hot loops where calling
+// ctx.Err() per iteration (a mutex in the standard library) would contend.
+type CancelFlag struct {
+	set  atomic.Bool
+	stop chan struct{}
+	once sync.Once
+}
+
+// WatchCancel starts watching ctx. The flag flips once ctx is cancelled.
+// Callers must Release the flag when the run finishes so the watcher
+// goroutine exits; Release is idempotent.
+func WatchCancel(ctx context.Context) *CancelFlag {
+	f := &CancelFlag{}
+	done := ctx.Done()
+	if done == nil {
+		return f // never cancellable; no watcher needed
+	}
+	f.stop = make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			f.set.Store(true)
+		case <-f.stop:
+		}
+	}()
+	return f
+}
+
+// Cancelled reports whether the watched context has been cancelled.
+func (f *CancelFlag) Cancelled() bool { return f.set.Load() }
+
+// Release stops the watcher goroutine.
+func (f *CancelFlag) Release() {
+	if f.stop != nil {
+		f.once.Do(func() { close(f.stop) })
+	}
+}
+
+// Err returns ctx.Err() if the flag observed a cancellation, else nil.
+// Engines use it to decide whether a finished run was cut short.
+func (f *CancelFlag) Err(ctx context.Context) error {
+	if f.Cancelled() {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// fake is a minimal engine recording what it was invoked with.
+type fake struct {
+	name string
+	got  *Config
+}
+
+func (f *fake) Name() string { return f.name }
+
+func (f *fake) Run(ctx context.Context, c *circuit.Circuit, cfg Config) (*Report, error) {
+	*f.got = cfg
+	return &Report{Final: []logic.Value{}}, nil
+}
+
+func testCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("t")
+	n := b.Bit("n")
+	b.Const("c", n, logic.V(1, 1))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegistryResolution(t *testing.T) {
+	var got Config
+	Register(&fake{name: "fake-engine", got: &got}, "fk")
+
+	for _, name := range []string{"fake-engine", "FAKE-ENGINE", " fk ", "Fk"} {
+		e, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if e.Name() != "fake-engine" {
+			t.Errorf("Get(%q).Name() = %q", name, e.Name())
+		}
+	}
+
+	if _, err := Get("no-such-algorithm"); err == nil {
+		t.Error("unknown name resolved")
+	} else if !strings.Contains(err.Error(), "fake-engine") {
+		t.Errorf("unknown-name error does not list registered engines: %v", err)
+	}
+
+	found := false
+	for _, n := range Names() {
+		if n == "fake-engine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v missing fake-engine", Names())
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(&fake{name: "dup-engine", got: &Config{}})
+	Register(&fake{name: "dup-engine", got: &Config{}})
+}
+
+func TestRunValidation(t *testing.T) {
+	var got Config
+	Register(&fake{name: "val-engine", got: &got}, "val")
+	c := testCircuit(t)
+
+	if _, err := Run(context.Background(), "val", nil, Config{Horizon: 1}); err == nil ||
+		!strings.Contains(err.Error(), "nil circuit") {
+		t.Errorf("nil circuit: %v", err)
+	}
+	if _, err := Run(context.Background(), "val", c, Config{Horizon: -5}); err == nil ||
+		!strings.Contains(err.Error(), "negative horizon -5") {
+		t.Errorf("negative horizon: %v", err)
+	}
+	if _, err := Run(context.Background(), "val", c, Config{Horizon: 1, Workers: -3}); err == nil ||
+		!strings.Contains(err.Error(), "invalid worker count -3") {
+		t.Errorf("negative workers: %v", err)
+	}
+	if _, err := Run(context.Background(), "nope", c, Config{Horizon: 1}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+
+	// Workers 0 defaults to 1, and a nil ctx is tolerated.
+	if _, err := Run(nil, "val", c, Config{Horizon: 1}); err != nil { //nolint:staticcheck
+		t.Fatal(err)
+	}
+	if got.Workers != 1 {
+		t.Errorf("defaulted workers = %d, want 1", got.Workers)
+	}
+}
+
+func TestCancelFlag(t *testing.T) {
+	// Background context: no watcher, never cancelled.
+	f := WatchCancel(context.Background())
+	if f.Cancelled() {
+		t.Error("background context reads cancelled")
+	}
+	if f.Err(context.Background()) != nil {
+		t.Error("background Err non-nil")
+	}
+	f.Release()
+	f.Release() // idempotent
+
+	ctx, cancel := context.WithCancel(context.Background())
+	f = WatchCancel(ctx)
+	defer f.Release()
+	if f.Cancelled() {
+		t.Error("flag set before cancellation")
+	}
+	cancel()
+	// The watcher goroutine needs a moment to observe ctx.Done().
+	for i := 0; i < 1000 && !f.Cancelled(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if !f.Cancelled() {
+		t.Fatal("flag never observed cancellation")
+	}
+	if f.Err(ctx) != context.Canceled {
+		t.Errorf("Err = %v, want Canceled", f.Err(ctx))
+	}
+}

@@ -1,16 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"parsim/internal/circuit"
-	"parsim/internal/core"
-	"parsim/internal/dist"
+	"parsim/internal/engine"
 	"parsim/internal/gen"
 	"parsim/internal/machine"
-	"parsim/internal/parevent"
 	"parsim/internal/seq"
-	"parsim/internal/timewarp"
 )
 
 // utilAt reads a speed-up series at processor count p and converts to the
@@ -43,7 +41,7 @@ func fig1(cfg Config) *Figure {
 			res := collectFor(c, b.horizon)
 			run = cfg.modelEventDriven(c, res, machine.EDDistributed)
 		} else {
-			run = cfg.realEventDriven(c, b.horizon, parevent.Distributed)
+			run = cfg.realEngine("event-driven", c, b.horizon, nil)
 		}
 		f.Series = append(f.Series, speedupSeries(name, ps, run))
 	}
@@ -78,7 +76,7 @@ func fig2(cfg Config) *Figure {
 			res := collectFor(c, horizon)
 			run = cfg.modelEventDriven(c, res, machine.EDDistributed)
 		} else {
-			run = cfg.realEventDriven(c, horizon, parevent.Distributed)
+			run = cfg.realEngine("event-driven", c, horizon, nil)
 		}
 		f.Series = append(f.Series, speedupSeries(fmt.Sprintf("%d ev/tick", active*16), ps, run))
 	}
@@ -111,7 +109,7 @@ func fig3(cfg Config) *Figure {
 		if cfg.Mode == Model {
 			run = cfg.modelCompiled(c, steps)
 		} else {
-			run = cfg.realCompiled(c, realHorizon)
+			run = cfg.realEngine("compiled", c, realHorizon, nil)
 		}
 		f.Series = append(f.Series, speedupSeries(name, ps, run))
 	}
@@ -141,7 +139,7 @@ func fig4(cfg Config) *Figure {
 			res := collectFor(c, b.horizon)
 			run = cfg.modelAsync(c, res)
 		} else {
-			run = cfg.realAsync(c, b.horizon)
+			run = cfg.realEngine("asynchronous", c, b.horizon, nil)
 		}
 		f.Series = append(f.Series, speedupSeries(name, ps, run))
 	}
@@ -176,8 +174,8 @@ func fig5(cfg Config) *Figure {
 		edRun = cfg.modelEventDriven(c, res, machine.EDDistributed)
 		asRun = cfg.modelAsync(c, res)
 	} else {
-		edRun = cfg.realEventDriven(c, b.horizon, parevent.Distributed)
-		asRun = cfg.realAsync(c, b.horizon)
+		edRun = cfg.realEngine("event-driven", c, b.horizon, nil)
+		asRun = cfg.realEngine("asynchronous", c, b.horizon, nil)
 	}
 	f.Series = append(f.Series,
 		speedupSeries("event-driven", ps, edRun),
@@ -212,8 +210,8 @@ func t1(cfg Config) *Figure {
 			ed, _ = cfg.modelEventDriven(c, res, machine.EDDistributed)(1)
 			as, _ = cfg.modelAsync(c, res)(1)
 		} else {
-			ed, _ = cfg.realEventDriven(c, b.horizon, parevent.Distributed)(1)
-			as, _ = cfg.realAsync(c, b.horizon)(1)
+			ed, _ = cfg.realEngine("event-driven", c, b.horizon, nil)(1)
+			as, _ = cfg.realEngine("asynchronous", c, b.horizon, nil)(1)
 		}
 		ratio := 0.0
 		if as > 0 {
@@ -242,19 +240,19 @@ func t2(cfg Config) *Figure {
 	type variant struct {
 		name  string
 		model machine.EDMode
-		real  parevent.Mode
+		tweak func(*engine.Config)
 	}
 	for _, v := range []variant{
-		{"central", machine.EDCentral, parevent.Central},
-		{"no-steal", machine.EDNoSteal, parevent.NoSteal},
-		{"distributed", machine.EDDistributed, parevent.Distributed},
+		{"central", machine.EDCentral, func(ec *engine.Config) { ec.CentralQueue = true }},
+		{"no-steal", machine.EDNoSteal, func(ec *engine.Config) { ec.NoSteal = true }},
+		{"distributed", machine.EDDistributed, nil},
 	} {
 		var run func(int) (float64, float64)
 		if cfg.Mode == Model {
 			res := collectFor(c, b.horizon)
 			run = cfg.modelEventDriven(c, res, v.model)
 		} else {
-			run = cfg.realEventDriven(c, b.horizon, v.real)
+			run = cfg.realEngine("event-driven", c, b.horizon, v.tweak)
 		}
 		f.Series = append(f.Series, speedupSeries(v.name, ps, run))
 	}
@@ -342,8 +340,8 @@ func t4(cfg Config) *Figure {
 		ringRun = cfg.modelAsync(ring, ringRes)
 		arrRun = cfg.modelAsync(array, arrRes)
 	} else {
-		ringRun = cfg.realAsync(ring, horizon)
-		arrRun = cfg.realAsync(array, arrayHorizon)
+		ringRun = cfg.realEngine("asynchronous", ring, horizon, nil)
+		arrRun = cfg.realEngine("asynchronous", array, arrayHorizon, nil)
 	}
 	f.Series = append(f.Series,
 		speedupSeries(fmt.Sprintf("feedback-chain-%d", length), ps, ringRun),
@@ -392,29 +390,39 @@ func t5(cfg Config) *Figure {
 	saved.Name = "tw-peak-saved-state"
 	msgs.Name = "dist-messages/1k-events"
 	cmRounds.Name = "cm-deadlocks"
+	runAlg := func(alg string, c *circuit.Circuit, horizon circuit.Time) *engine.Report {
+		rep, err := engine.Run(context.Background(), alg, c,
+			engine.Config{Workers: workers, Horizon: horizon})
+		if err != nil {
+			panic("harness: " + alg + ": " + err.Error())
+		}
+		return rep
+	}
 	for i, r := range rows {
 		c := r.build()
-		cons := core.Run(c, core.Options{Workers: workers, Horizon: r.horizon})
-		opt := timewarp.Run(c, timewarp.Options{Workers: workers, Horizon: r.horizon})
-		msg := dist.Run(c, dist.Options{Workers: workers, Horizon: r.horizon})
-		cm := core.Run(c, core.Options{Workers: workers, Horizon: r.horizon, DeadlockRecovery: true})
+		cons := runAlg("asynchronous", c, r.horizon)
+		opt := runAlg("time-warp", c, r.horizon)
+		msg := runAlg("distributed-async", c, r.horizon)
+		cm := runAlg("chandy-misra", c, r.horizon)
+		optTot := opt.Run.Totals()
+		nMsgs := msg.Run.Totals().Messages
 		ev := float64(cons.Run.NodeUpdates)
 		if ev == 0 {
 			ev = 1
 		}
 		x := float64(i)
 		rollbacks.X = append(rollbacks.X, x)
-		rollbacks.Y = append(rollbacks.Y, float64(opt.Rollbacks)/ev*1000)
+		rollbacks.Y = append(rollbacks.Y, float64(optTot.Rollbacks)/ev*1000)
 		saved.X = append(saved.X, x)
 		saved.Y = append(saved.Y, float64(opt.PeakLog))
 		msgs.X = append(msgs.X, x)
-		msgs.Y = append(msgs.Y, float64(msg.Messages)/ev*1000)
+		msgs.Y = append(msgs.Y, float64(nMsgs)/ev*1000)
 		cmRounds.X = append(cmRounds.X, x)
 		cmRounds.Y = append(cmRounds.Y, float64(cm.Rounds))
 		f.Notes = append(f.Notes, fmt.Sprintf(
 			"%s (P=%d, %d events): time-warp %d rollbacks, %d steps undone, %d anti-messages, peak saved state %d; chandy-misra broke %d deadlocks; the incremental algorithm saves nothing, never rolls back and never deadlocks; distributed sent %d messages",
-			r.name, workers, cons.Run.NodeUpdates, opt.Rollbacks, opt.RolledBack,
-			opt.Cancelled, opt.PeakLog, cm.Rounds, msg.Messages))
+			r.name, workers, cons.Run.NodeUpdates, optTot.Rollbacks, optTot.RolledBack,
+			optTot.Cancelled, opt.PeakLog, cm.Rounds, nMsgs))
 	}
 	f.Series = append(f.Series, rollbacks, saved, msgs, cmRounds)
 	f.Notes = append(f.Notes,

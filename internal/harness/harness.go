@@ -11,19 +11,26 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 
 	"parsim/internal/circuit"
-	"parsim/internal/compiled"
-	"parsim/internal/core"
+	"parsim/internal/engine"
 	"parsim/internal/gen"
 	"parsim/internal/machine"
-	"parsim/internal/parevent"
 	"parsim/internal/partition"
 	"parsim/internal/seq"
+
+	// Populate the engine registry (the harness cannot import the parsim
+	// facade, which itself imports this package).
+	_ "parsim/internal/compiled"
+	_ "parsim/internal/core"
+	_ "parsim/internal/dist"
+	_ "parsim/internal/parevent"
+	_ "parsim/internal/timewarp"
 )
 
 // Mode selects how an experiment is executed.
@@ -238,35 +245,21 @@ func realBest(f func() (float64, float64)) (float64, float64) {
 	return bestSpan, bestUtil
 }
 
-func (cfg *Config) realEventDriven(c *circuit.Circuit, horizon circuit.Time, mode parevent.Mode) func(int) (float64, float64) {
+// realEngine builds a Real-mode runner for any registered algorithm: one
+// generic path through the engine registry instead of a hand-rolled runner
+// per simulator. tweak, when non-nil, adjusts the Config (ablation flags).
+func (cfg *Config) realEngine(alg string, c *circuit.Circuit, horizon circuit.Time, tweak func(*engine.Config)) func(int) (float64, float64) {
 	return func(p int) (float64, float64) {
 		return realBest(func() (float64, float64) {
-			r := parevent.Run(c, parevent.Options{
-				Workers: p, Horizon: horizon, CostSpin: cfg.SpinScale, Mode: mode,
-			})
-			return float64(r.Run.Wall), r.Run.Utilization()
-		})
-	}
-}
-
-func (cfg *Config) realAsync(c *circuit.Circuit, horizon circuit.Time) func(int) (float64, float64) {
-	return func(p int) (float64, float64) {
-		return realBest(func() (float64, float64) {
-			r := core.Run(c, core.Options{
-				Workers: p, Horizon: horizon, CostSpin: cfg.SpinScale,
-			})
-			return float64(r.Run.Wall), r.Run.Utilization()
-		})
-	}
-}
-
-func (cfg *Config) realCompiled(c *circuit.Circuit, horizon circuit.Time) func(int) (float64, float64) {
-	return func(p int) (float64, float64) {
-		return realBest(func() (float64, float64) {
-			r := compiled.Run(c, compiled.Options{
-				Workers: p, Horizon: horizon, CostSpin: cfg.SpinScale,
-			})
-			return float64(r.Run.Wall), r.Run.Utilization()
+			ec := engine.Config{Workers: p, Horizon: horizon, CostSpin: cfg.SpinScale}
+			if tweak != nil {
+				tweak(&ec)
+			}
+			rep, err := engine.Run(context.Background(), alg, c, ec)
+			if err != nil {
+				panic("harness: " + alg + ": " + err.Error())
+			}
+			return float64(rep.Run.Wall), rep.Run.Utilization()
 		})
 	}
 }

@@ -1,0 +1,35 @@
+package parevent
+
+import (
+	"context"
+
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+)
+
+// eng adapts the synchronous parallel event-driven simulator to the
+// unified engine layer.
+type eng struct{}
+
+func (eng) Name() string { return "event-driven" }
+
+func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*engine.Report, error) {
+	mode := Distributed
+	switch {
+	case cfg.CentralQueue:
+		mode = Central
+	case cfg.NoSteal:
+		mode = NoSteal
+	}
+	res, err := RunContext(ctx, c, Options{
+		Workers:      cfg.Workers,
+		Horizon:      cfg.Horizon,
+		Probe:        cfg.Probe,
+		CostSpin:     cfg.CostSpin,
+		CollectAvail: cfg.CollectAvail,
+		Mode:         mode,
+	})
+	return &engine.Report{Run: res.Run, Final: res.Final}, err
+}
+
+func init() { engine.Register(eng{}, "event", "parallel-event-driven") }

@@ -17,12 +17,14 @@
 package parevent
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parsim/internal/barrier"
 	"parsim/internal/circuit"
+	"parsim/internal/engine"
 	"parsim/internal/eventq"
 	"parsim/internal/logic"
 	"parsim/internal/stats"
@@ -112,14 +114,24 @@ type sim struct {
 
 	bar     *barrier.Barrier
 	stepN   atomic.Int64
-	updates []int64 // per-worker counters
-	evals   []int64
-	idle    []time.Duration
+	wc      []stats.WorkerCounters // per-worker counters
 	avail   stats.Histogram
+	cancel  *engine.CancelFlag
+	stopped atomic.Bool // cancellation agreed; all workers exit in phase B
 }
 
 // Run simulates the circuit with opts.Workers parallel workers.
 func Run(c *circuit.Circuit, opts Options) *Result {
+	res, _ := RunContext(context.Background(), c, opts)
+	return res
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled all workers
+// stop together at the next time step (the cancellation is observed by
+// worker 0 in the scheduling phase and acted on by everyone after the
+// phase barrier, so no worker is left waiting) and the partial result is
+// returned with ctx.Err().
+func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		panic("parevent: need at least one worker")
 	}
@@ -137,11 +149,11 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		evalQ:     make([][]*evalList, p),
 		peek:      make([]int64, p),
 		bar:       barrier.New(p),
-		updates:   make([]int64, p),
-		evals:     make([]int64, p),
-		idle:      make([]time.Duration, p),
+		wc:        make([]stats.WorkerCounters, p),
 		centralQ:  eventq.New(),
+		cancel:    engine.WatchCancel(ctx),
 	}
+	defer s.cancel.Release()
 	for i := range c.Nodes {
 		s.val[i] = logic.AllX(c.Nodes[i].Width)
 		s.projected[i] = s.val[i]
@@ -180,21 +192,13 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		Horizon:   opts.Horizon,
 		Workers:   p,
 		TimeSteps: s.stepN.Load(),
-		Wall:      wall,
-		Busy:      make([]time.Duration, p),
 		Avail:     s.avail,
 	}
 	for w := 0; w < p; w++ {
-		res.Run.NodeUpdates += s.updates[w]
-		res.Run.Evals += s.evals[w]
-		res.Run.ModelCalls += s.evals[w]
-		busy := wall - s.idle[w]
-		if busy < 0 {
-			busy = 0
-		}
-		res.Run.Busy[w] = busy
+		s.wc[w].ModelCalls = s.wc[w].Evals
 	}
-	return res
+	res.Run.Aggregate(wall, s.wc)
+	return res, s.cancel.Err(ctx)
 }
 
 // worker is the per-goroutine state.
@@ -235,15 +239,21 @@ func newWorker(s *sim, id int) *worker {
 func (w *worker) wait() {
 	t0 := time.Now()
 	w.s.bar.Wait(&w.sense)
+	w.s.wc[w.id].BarrierWaits++
 	w.idle += time.Since(t0)
 }
 
 func (w *worker) run() {
 	s := w.s
-	defer func() { s.idle[w.id] = w.idle }()
+	defer func() { s.wc[w.id].Idle = w.idle }()
 	for {
 		// Phase A: fold newly scheduled updates into the local wheel and
-		// publish the earliest pending time.
+		// publish the earliest pending time. Worker 0 also notes context
+		// cancellation here; the flag is read by everyone in phase B, on
+		// the far side of the barrier, so all workers exit together.
+		if w.id == 0 && s.cancel.Cancelled() {
+			s.stopped.Store(true)
+		}
 		if s.opts.Mode == Central {
 			if w.id == 0 {
 				s.peek[0] = w.centralPeek()
@@ -262,6 +272,9 @@ func (w *worker) run() {
 
 		// Phase B: agree on the global time, apply node updates, claim and
 		// distribute activated elements.
+		if s.stopped.Load() {
+			return
+		}
 		t := circuit.Time(-1)
 		lim := s.p
 		if s.opts.Mode == Central {
@@ -363,7 +376,7 @@ func (w *worker) applyUpdate(n circuit.NodeID, t circuit.Time, v logic.Value) {
 		return
 	}
 	s.val[n] = v
-	w.s.updates[w.id]++
+	w.s.wc[w.id].NodeUpdates++
 	if s.opts.Probe != nil {
 		s.opts.Probe.OnChange(n, t, v)
 	}
@@ -389,18 +402,22 @@ func (w *worker) evalPhase(t circuit.Time) {
 	for off := 1; off < s.p; off++ {
 		victim := (w.id + off) % s.p
 		for src := 0; src < s.p; src++ {
-			w.drain(t, s.evalQ[victim][src])
+			s.wc[w.id].Steals += w.drain(t, s.evalQ[victim][src])
 		}
 	}
 }
 
-func (w *worker) drain(t circuit.Time, q *evalList) {
+// drain consumes entries through the atomic cursor, returning how many
+// this worker evaluated.
+func (w *worker) drain(t circuit.Time, q *evalList) int64 {
+	var n int64
 	for {
 		idx := q.cursor.Add(1) - 1
 		if idx >= int64(len(q.items)) {
-			return
+			return n
 		}
 		w.evaluate(t, q.items[idx])
+		n++
 	}
 }
 
@@ -409,7 +426,7 @@ func (w *worker) evaluate(t circuit.Time, id circuit.ElemID) {
 	s := w.s
 	el := &s.c.Elems[id]
 	s.claimed[id].Store(false)
-	w.s.evals[w.id]++
+	s.wc[w.id].Evals++
 	if cap(w.inBuf) < len(el.In) {
 		w.inBuf = make([]logic.Value, len(el.In))
 	}
@@ -510,7 +527,7 @@ func (w *worker) centralApply(n circuit.NodeID, t circuit.Time, v logic.Value) {
 		return
 	}
 	s.val[n] = v
-	w.s.updates[w.id]++
+	s.wc[w.id].NodeUpdates++
 	if s.opts.Probe != nil {
 		s.opts.Probe.OnChange(n, t, v)
 	}

@@ -12,10 +12,12 @@
 package seq
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"parsim/internal/circuit"
+	"parsim/internal/engine"
 	"parsim/internal/eventq"
 	"parsim/internal/logic"
 	"parsim/internal/stats"
@@ -49,24 +51,35 @@ type Result struct {
 
 // Run simulates the circuit and returns statistics and final node values.
 func Run(c *circuit.Circuit, opts Options) *Result {
+	res, _ := RunContext(context.Background(), c, opts)
+	return res
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the simulator
+// stops at the next time step and returns the partial result together with
+// ctx.Err().
+func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	s := newSim(c, opts)
+	cancel := engine.WatchCancel(ctx)
+	defer cancel.Release()
 	start := time.Now()
-	s.run()
-	s.res.Wall = time.Since(start)
-	s.res.ModelCalls = s.res.Evals
-	s.res.Busy = []time.Duration{s.res.Wall}
+	s.run(cancel)
+	wall := time.Since(start)
+	s.wc.ModelCalls = s.wc.Evals
+	s.res.Aggregate(wall, []stats.WorkerCounters{s.wc})
 	res := &Result{Run: s.res, Final: s.val}
 	if s.co != nil {
 		res.Steps = s.co.steps
 		res.Graph = &s.co.graph
 	}
-	return res
+	return res, cancel.Err(ctx)
 }
 
 type sim struct {
 	c    *circuit.Circuit
 	opts Options
 	res  stats.Run
+	wc   stats.WorkerCounters
 
 	val       []logic.Value   // current node values
 	projected []logic.Value   // last value scheduled for each node
@@ -129,8 +142,11 @@ func (s *sim) nextGenTime() circuit.Time {
 	return next
 }
 
-func (s *sim) run() {
+func (s *sim) run(cancel *engine.CancelFlag) {
 	for {
+		if cancel.Cancelled() {
+			return
+		}
 		// Earliest pending activity: scheduled events or generator changes.
 		t := s.nextGenTime()
 		if qt, ok := s.q.Peek(); ok && (t < 0 || qt < t) {
@@ -187,7 +203,7 @@ func (s *sim) applyUpdate(n circuit.NodeID, t circuit.Time, v logic.Value) {
 		return
 	}
 	s.val[n] = v
-	s.res.NodeUpdates++
+	s.wc.NodeUpdates++
 	if s.opts.Probe != nil {
 		s.opts.Probe.OnChange(n, t, v)
 	}
@@ -208,7 +224,7 @@ func (s *sim) applyUpdate(n circuit.NodeID, t circuit.Time, v logic.Value) {
 
 func (s *sim) evaluate(t circuit.Time, id circuit.ElemID) {
 	el := &s.c.Elems[id]
-	s.res.Evals++
+	s.wc.Evals++
 	task := int32(-1)
 	if s.co != nil {
 		task = s.co.onEval(id, t)

@@ -12,6 +12,46 @@ import (
 	"parsim/internal/circuit"
 )
 
+// WorkerCounters is the per-worker observability surface shared by every
+// simulation algorithm. Counters that do not apply to an algorithm stay
+// zero (e.g. Steals outside the event-driven simulator, Rollbacks outside
+// Time Warp), so utilisation figures and overhead comparisons read the
+// same way across all seven engines.
+type WorkerCounters struct {
+	Evals        int64 // element evaluations (activations, for the async algorithm)
+	ModelCalls   int64 // element model-function invocations (== Evals except async)
+	NodeUpdates  int64 // node value changes applied
+	EventsUsed   int64 // input events consumed by evaluations (async family)
+	Steals       int64 // elements evaluated out of another worker's queue (event-driven)
+	BarrierWaits int64 // barrier passes (synchronous algorithms)
+	IdlePolls    int64 // empty work-queue polls / blocking waits (async family)
+	Messages     int64 // inter-worker messages sent (distributed-async)
+	Rollbacks    int64 // rollback episodes (time-warp)
+	Cancelled    int64 // events annihilated by anti-messages (time-warp)
+	RolledBack   int64 // processed element steps undone (time-warp)
+
+	Busy time.Duration // wall time minus Idle
+	Idle time.Duration // time spent blocked or starved
+}
+
+// Accumulate adds o's counters into c. Busy and Idle accumulate too, which
+// is meaningful only when summing per-worker rows into a total.
+func (c *WorkerCounters) Accumulate(o WorkerCounters) {
+	c.Evals += o.Evals
+	c.ModelCalls += o.ModelCalls
+	c.NodeUpdates += o.NodeUpdates
+	c.EventsUsed += o.EventsUsed
+	c.Steals += o.Steals
+	c.BarrierWaits += o.BarrierWaits
+	c.IdlePolls += o.IdlePolls
+	c.Messages += o.Messages
+	c.Rollbacks += o.Rollbacks
+	c.Cancelled += o.Cancelled
+	c.RolledBack += o.RolledBack
+	c.Busy += o.Busy
+	c.Idle += o.Idle
+}
+
 // Run summarises one simulation run.
 type Run struct {
 	Algorithm   string
@@ -24,8 +64,36 @@ type Run struct {
 	ModelCalls  int64 // element model-function invocations (== Evals except async)
 	EventsUsed  int64 // input events consumed by evaluations (async)
 	Wall        time.Duration
-	Busy        []time.Duration // per-worker useful time
-	Avail       Histogram       // elements available for evaluation per time step
+	PerWorker   []WorkerCounters // one row per worker
+	Avail       Histogram        // elements available for evaluation per time step
+}
+
+// Aggregate installs the per-worker counter rows, derives each worker's
+// busy time from wall minus idle, and accumulates the aggregate totals.
+// Every simulator finishes its stats through this one path.
+func (r *Run) Aggregate(wall time.Duration, per []WorkerCounters) {
+	r.Wall = wall
+	r.PerWorker = per
+	for i := range per {
+		busy := wall - per[i].Idle
+		if busy < 0 {
+			busy = 0
+		}
+		per[i].Busy = busy
+		r.NodeUpdates += per[i].NodeUpdates
+		r.Evals += per[i].Evals
+		r.ModelCalls += per[i].ModelCalls
+		r.EventsUsed += per[i].EventsUsed
+	}
+}
+
+// Totals sums the per-worker counters into one row.
+func (r *Run) Totals() WorkerCounters {
+	var t WorkerCounters
+	for i := range r.PerWorker {
+		t.Accumulate(r.PerWorker[i])
+	}
+	return t
 }
 
 // Utilization returns total busy time divided by workers x wall time, the
@@ -36,8 +104,8 @@ func (r *Run) Utilization() float64 {
 		return 0
 	}
 	var busy time.Duration
-	for _, b := range r.Busy {
-		busy += b
+	for i := range r.PerWorker {
+		busy += r.PerWorker[i].Busy
 	}
 	return float64(busy) / (float64(r.Wall) * float64(r.Workers))
 }
@@ -78,7 +146,8 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
-// FractionBelow returns the fraction of samples strictly less than v.
+// FractionBelow returns the fraction of samples strictly less than v, or 0
+// with no samples.
 func (h *Histogram) FractionBelow(v int) float64 {
 	if h.n == 0 {
 		return 0
@@ -93,10 +162,16 @@ func (h *Histogram) FractionBelow(v int) float64 {
 }
 
 // Quantile returns the smallest observed value q of the way through the
-// distribution (q in [0, 1]).
+// distribution. q is clamped to [0, 1]; an empty histogram yields 0.
 func (h *Histogram) Quantile(q float64) int {
 	if h.n == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	keys := make([]int, 0, len(h.counts))
 	for k := range h.counts {
@@ -114,13 +189,28 @@ func (h *Histogram) Quantile(q float64) int {
 	return keys[len(keys)-1]
 }
 
-// Max returns the largest observed value.
+// Max returns the largest observed value, or 0 with no samples.
 func (h *Histogram) Max() int {
+	first := true
 	max := 0
 	for k := range h.counts {
-		if k > max {
+		if first || k > max {
 			max = k
+			first = false
 		}
 	}
 	return max
+}
+
+// Min returns the smallest observed value, or 0 with no samples.
+func (h *Histogram) Min() int {
+	first := true
+	min := 0
+	for k := range h.counts {
+		if first || k < min {
+			min = k
+			first = false
+		}
+	}
+	return min
 }

@@ -11,7 +11,10 @@ func TestUtilization(t *testing.T) {
 	r := Run{
 		Workers: 2,
 		Wall:    100 * time.Millisecond,
-		Busy:    []time.Duration{100 * time.Millisecond, 50 * time.Millisecond},
+		PerWorker: []WorkerCounters{
+			{Busy: 100 * time.Millisecond},
+			{Busy: 50 * time.Millisecond},
+		},
 	}
 	if u := r.Utilization(); u != 0.75 {
 		t.Errorf("utilisation = %f, want 0.75", u)
@@ -22,9 +25,32 @@ func TestUtilization(t *testing.T) {
 	}
 }
 
+func TestAggregate(t *testing.T) {
+	r := Run{Workers: 2}
+	per := []WorkerCounters{
+		{Evals: 3, ModelCalls: 3, NodeUpdates: 2, EventsUsed: 5, Idle: 20 * time.Millisecond},
+		{Evals: 1, ModelCalls: 1, NodeUpdates: 1, EventsUsed: 2, Idle: 200 * time.Millisecond},
+	}
+	r.Aggregate(100*time.Millisecond, per)
+	if r.Evals != 4 || r.ModelCalls != 4 || r.NodeUpdates != 3 || r.EventsUsed != 7 {
+		t.Errorf("aggregate totals wrong: %+v", r)
+	}
+	if got := r.PerWorker[0].Busy; got != 80*time.Millisecond {
+		t.Errorf("worker 0 busy = %v, want 80ms", got)
+	}
+	// Idle beyond wall (possible with coarse timers) clamps busy at zero.
+	if got := r.PerWorker[1].Busy; got != 0 {
+		t.Errorf("worker 1 busy = %v, want 0", got)
+	}
+	tot := r.Totals()
+	if tot.Evals != 4 || tot.EventsUsed != 7 || tot.Busy != 80*time.Millisecond {
+		t.Errorf("totals wrong: %+v", tot)
+	}
+}
+
 func TestRunString(t *testing.T) {
 	r := Run{Algorithm: "async", Circuit: "c", Workers: 3, Evals: 42,
-		Wall: time.Millisecond, Busy: []time.Duration{time.Millisecond}}
+		Wall: time.Millisecond, PerWorker: []WorkerCounters{{Busy: time.Millisecond}}}
 	s := r.String()
 	for _, want := range []string{"async", "P=3", "evals=42"} {
 		if !strings.Contains(s, want) {
@@ -50,6 +76,9 @@ func TestHistogram(t *testing.T) {
 	if h.Max() != 10 {
 		t.Errorf("Max = %d", h.Max())
 	}
+	if h.Min() != 1 {
+		t.Errorf("Min = %d", h.Min())
+	}
 	if got := h.FractionBelow(3); got != 3.0/7 {
 		t.Errorf("FractionBelow(3) = %f", got)
 	}
@@ -64,6 +93,47 @@ func TestHistogram(t *testing.T) {
 	}
 	if q := h.Quantile(0.999); q != 10 {
 		t.Errorf("q0.999 = %d", q)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var empty Histogram
+	if empty.Max() != 0 || empty.Min() != 0 {
+		t.Error("empty Max/Min must be 0")
+	}
+	if empty.FractionBelow(5) != 0 {
+		t.Error("empty FractionBelow must be 0")
+	}
+	if empty.Quantile(1.0) != 0 || empty.Quantile(-1) != 0 {
+		t.Error("empty Quantile must be 0")
+	}
+
+	var h Histogram
+	for _, v := range []int{4, 7, 9} {
+		h.Observe(v)
+	}
+	// Quantile(1.0) is the maximum, not an out-of-range index.
+	if q := h.Quantile(1.0); q != 9 {
+		t.Errorf("Quantile(1.0) = %d, want 9", q)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if q := h.Quantile(2.5); q != 9 {
+		t.Errorf("Quantile(2.5) = %d, want 9", q)
+	}
+	if q := h.Quantile(-0.5); q != 4 {
+		t.Errorf("Quantile(-0.5) = %d, want 4", q)
+	}
+
+	// Max/Min work with all-negative observations (no zero sentinel bias).
+	var neg Histogram
+	for _, v := range []int{-5, -2, -9} {
+		neg.Observe(v)
+	}
+	if neg.Max() != -2 {
+		t.Errorf("negative Max = %d, want -2", neg.Max())
+	}
+	if neg.Min() != -9 {
+		t.Errorf("negative Min = %d, want -9", neg.Min())
 	}
 }
 
@@ -84,6 +154,9 @@ func TestQuickHistogramInvariants(t *testing.T) {
 		}
 		mean := float64(sum) / float64(len(vals))
 		if diff := h.Mean() - mean; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		if h.Quantile(1) != h.Max() || h.Quantile(0) != h.Min() {
 			return false
 		}
 		return h.Quantile(0) <= h.Quantile(0.5) && h.Quantile(0.5) <= h.Quantile(1)

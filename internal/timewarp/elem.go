@@ -178,7 +178,7 @@ func (rt *elemRT) insertPort(s *sim, w int, ev twEvent, port int) {
 				rt.id, ev.t, ev.id, idx, q.cursor, rt.lvt, times, logT))
 		}
 		q.events = append(q.events[:idx], q.events[idx+1:]...)
-		s.nCancelled[w]++
+		s.wc[w].Cancelled++
 		rt.check("anti+")
 		return
 	}
@@ -203,11 +203,11 @@ func (rt *elemRT) rollback(s *sim, w int, t circuit.Time) {
 	if rt.id == twTraceElem {
 		fmt.Printf("TRACE elem %d rollback to t=%d lvt=%d logLen=%d\n", rt.id, t, rt.lvt, len(rt.log))
 	}
-	s.nRollbacks[w]++
+	s.wc[w].Rollbacks++
 	var antis []twEvent
 	for len(rt.log) > 0 && rt.log[len(rt.log)-1].t >= t {
 		entry := &rt.log[len(rt.log)-1]
-		s.nRolled[w]++
+		s.wc[w].RolledBack++
 		for p := range rt.el.Out {
 			lg := rt.outLog[p]
 			for _, rec := range lg[entry.sentFrom[p]:] {
@@ -269,7 +269,7 @@ func (rt *elemRT) process(s *sim, w int, wk *twWorker) bool {
 		q := &rt.ports[i]
 		for q.cursor < len(q.events) && q.events[q.cursor].t == tmin {
 			q.cursor++
-			s.nEvents[w]++
+			s.wc[w].EventsUsed++
 		}
 		in[i] = q.val(s.c.Nodes[rt.el.In[i]].Width)
 	}
@@ -278,7 +278,7 @@ func (rt *elemRT) process(s *sim, w int, wk *twWorker) bool {
 	}
 	out := wk.outBuf[:len(rt.el.Out)]
 	rt.el.Eval(in, rt.state, out)
-	s.nEvals[w]++
+	s.wc[w].Evals++
 	if s.opts.CostSpin > 0 {
 		circuit.Spin(rt.el.Cost * s.opts.CostSpin)
 	}
@@ -319,7 +319,7 @@ func (rt *elemRT) commit(s *sim, w int, upTo circuit.Time) {
 		k = 0
 		for k < len(lg) && lg[k].t < upTo {
 			s.final[n] = lg[k].v
-			s.nUpdates[w]++
+			s.wc[w].NodeUpdates++
 			if s.probe != nil {
 				s.probe.OnChange(n, lg[k].t, lg[k].v)
 			}

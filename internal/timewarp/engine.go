@@ -1,0 +1,33 @@
+package timewarp
+
+import (
+	"context"
+
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+)
+
+// eng adapts the optimistic Time Warp simulator to the unified engine
+// layer.
+type eng struct{}
+
+func (eng) Name() string { return "time-warp" }
+
+func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*engine.Report, error) {
+	res, err := RunContext(ctx, c, Options{
+		Workers:       cfg.Workers,
+		Horizon:       cfg.Horizon,
+		Probe:         cfg.Probe,
+		CostSpin:      cfg.CostSpin,
+		Strategy:      cfg.Strategy,
+		StepsPerRound: cfg.StepsPerRound,
+	})
+	return &engine.Report{
+		Run:       res.Run,
+		Final:     res.Final,
+		PeakLog:   res.PeakLog,
+		GVTRounds: res.GVTRounds,
+	}, err
+}
+
+func init() { engine.Register(eng{}, "timewarp", "tw", "optimistic") }

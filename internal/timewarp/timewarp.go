@@ -19,11 +19,13 @@
 package timewarp
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"parsim/internal/barrier"
 	"parsim/internal/circuit"
+	"parsim/internal/engine"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -77,19 +79,26 @@ type sim struct {
 	gvt       circuit.Time
 	done      bool
 	roundsRun int64
+	cancel    *engine.CancelFlag
 
 	probe trace.Probe
 	final []logic.Value
 
-	// per-worker stats
-	nUpdates, nEvals, nEvents       []int64
-	nRollbacks, nCancelled, nRolled []int64
-	idle                            []time.Duration
-	peakLog                         []int64
+	wc      []stats.WorkerCounters
+	peakLog []int64
 }
 
 // Run simulates the circuit with optimistic rollback-based parallelism.
 func Run(c *circuit.Circuit, opts Options) *Result {
+	res, _ := RunContext(context.Background(), c, opts)
+	return res
+}
+
+// RunContext is Run with cancellation: worker 0 observes the cancelled ctx
+// in the GVT phase and declares the run done, so all workers commit what is
+// behind the GVT and exit together at the end of the round; the partial
+// result is returned with ctx.Err().
+func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		panic("timewarp: need at least one worker")
 	}
@@ -99,25 +108,21 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 	p := opts.Workers
 	parts := partition.Split(c, p, opts.Strategy)
 	s := &sim{
-		c:          c,
-		opts:       opts,
-		p:          p,
-		rts:        make([]*elemRT, len(c.Elems)),
-		elemOwner:  make([]int, len(c.Elems)),
-		owned:      parts,
-		mailbox:    make([][][]twEvent, p),
-		bar:        barrier.New(p),
-		probe:      opts.Probe,
-		final:      make([]logic.Value, len(c.Nodes)),
-		nUpdates:   make([]int64, p),
-		nEvals:     make([]int64, p),
-		nEvents:    make([]int64, p),
-		nRollbacks: make([]int64, p),
-		nCancelled: make([]int64, p),
-		nRolled:    make([]int64, p),
-		idle:       make([]time.Duration, p),
-		peakLog:    make([]int64, p),
+		c:         c,
+		opts:      opts,
+		p:         p,
+		rts:       make([]*elemRT, len(c.Elems)),
+		elemOwner: make([]int, len(c.Elems)),
+		owned:     parts,
+		mailbox:   make([][][]twEvent, p),
+		bar:       barrier.New(p),
+		probe:     opts.Probe,
+		final:     make([]logic.Value, len(c.Nodes)),
+		wc:        make([]stats.WorkerCounters, p),
+		peakLog:   make([]int64, p),
+		cancel:    engine.WatchCancel(ctx),
 	}
+	defer s.cancel.Release()
 	s.wks = make([]*twWorker, p)
 	for w := range s.mailbox {
 		s.mailbox[w] = make([][]twEvent, p)
@@ -145,13 +150,16 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		last := logic.AllX(c.Nodes[n].Width)
 		var t circuit.Time
 		for t < opts.Horizon {
+			if s.cancel.Cancelled() {
+				break // generators can span huge horizons; stop materialising
+			}
 			v := el.GenValueAt(t)
 			if !v.Equal(last) {
 				last = v
 				ev := twEvent{node: n, t: t, v: v, id: seedID}
 				seedID--
 				s.final[n] = v
-				s.nUpdates[0]++
+				s.wc[0].NodeUpdates++
 				if s.probe != nil {
 					s.probe.OnChange(n, t, v)
 				}
@@ -185,25 +193,17 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 		Circuit:   c.Name,
 		Horizon:   opts.Horizon,
 		Workers:   p,
-		Wall:      wall,
-		Busy:      make([]time.Duration, p),
 	}
 	for w := 0; w < p; w++ {
-		res.Run.NodeUpdates += s.nUpdates[w]
-		res.Run.Evals += s.nEvals[w]
-		res.Run.ModelCalls += s.nEvals[w]
-		res.Run.EventsUsed += s.nEvents[w]
-		res.Rollbacks += s.nRollbacks[w]
-		res.Cancelled += s.nCancelled[w]
-		res.RolledBack += s.nRolled[w]
+		s.wc[w].ModelCalls = s.wc[w].Evals
 		if s.peakLog[w] > res.PeakLog {
 			res.PeakLog = s.peakLog[w]
 		}
-		busy := wall - s.idle[w]
-		if busy < 0 {
-			busy = 0
-		}
-		res.Run.Busy[w] = busy
 	}
-	return res
+	res.Run.Aggregate(wall, s.wc)
+	tot := res.Run.Totals()
+	res.Rollbacks = tot.Rollbacks
+	res.Cancelled = tot.Cancelled
+	res.RolledBack = tot.RolledBack
+	return res, s.cancel.Err(ctx)
 }

@@ -93,7 +93,7 @@ func (s *sim) worker(w int) {
 	wk := s.wks[w]
 	var sense barrier.Sense
 	var idle time.Duration
-	defer func() { s.idle[w] = idle }()
+	defer func() { s.wc[w].Idle = idle }()
 
 	// Initial scheduling of seeded elements.
 	for _, e := range s.owned[w] {
@@ -117,6 +117,7 @@ func (s *sim) worker(w int) {
 			s.mailbox[w][src] = box[:0]
 		}
 		t0 := time.Now()
+		s.wc[w].BarrierWaits++
 		s.bar.Wait(&sense)
 		idle += time.Since(t0)
 
@@ -149,15 +150,23 @@ func (s *sim) worker(w int) {
 		wk.staged = wk.staged[:0]
 
 		t0 = time.Now()
+		s.wc[w].BarrierWaits++
 		s.bar.Wait(&sense)
 		idle += time.Since(t0)
 
-		// Phase C: GVT.
+		// Phase C: GVT. Cancellation rides the existing round protocol:
+		// worker 0 observes the flag here and declares the run done, every
+		// worker sees s.done after the phase barrier, and the gang leaves
+		// together at the end of phase D — no barrier is left short.
 		if w == 0 {
 			s.computeGVT()
 			s.roundsRun++
+			if s.cancel.Cancelled() {
+				s.done = true
+			}
 		}
 		t0 = time.Now()
+		s.wc[w].BarrierWaits++
 		s.bar.Wait(&sense)
 		idle += time.Since(t0)
 
@@ -180,6 +189,7 @@ func (s *sim) worker(w int) {
 			return
 		}
 		t0 = time.Now()
+		s.wc[w].BarrierWaits++
 		s.bar.Wait(&sense)
 		idle += time.Since(t0)
 	}

@@ -43,19 +43,24 @@
 package parsim
 
 import (
-	"fmt"
+	"context"
 
 	"parsim/internal/circuit"
 	"parsim/internal/compiled"
-	"parsim/internal/core"
-	"parsim/internal/dist"
+	"parsim/internal/engine"
 	"parsim/internal/logic"
-	"parsim/internal/parevent"
 	"parsim/internal/partition"
-	"parsim/internal/seq"
 	"parsim/internal/stats"
-	"parsim/internal/timewarp"
 	"parsim/internal/trace"
+
+	// Each simulator package self-registers its engine(s) with
+	// internal/engine from init; these imports populate the registry that
+	// Simulate dispatches through.
+	_ "parsim/internal/core"
+	_ "parsim/internal/dist"
+	_ "parsim/internal/parevent"
+	_ "parsim/internal/seq"
+	_ "parsim/internal/timewarp"
 )
 
 // Core value and netlist types, re-exported from the implementation
@@ -87,6 +92,9 @@ type (
 	Change = trace.Change
 	// RunStats summarises a simulation run.
 	RunStats = stats.Run
+	// WorkerCounters is the uniform per-worker counter row every algorithm
+	// reports in RunStats.PerWorker.
+	WorkerCounters = stats.WorkerCounters
 	// Strategy selects a compiled-mode partitioner.
 	Strategy = partition.Strategy
 )
@@ -270,77 +278,43 @@ type Result struct {
 // produce identical node histories (Compiled on unit-delay circuits); they
 // differ in how the work is executed.
 func Simulate(c *Circuit, opts Options) (*Result, error) {
-	if c == nil {
-		return nil, fmt.Errorf("parsim: nil circuit")
+	return SimulateContext(context.Background(), c, opts)
+}
+
+// SimulateContext is Simulate with cancellation: when ctx is cancelled (or
+// its deadline passes) every worker of the selected algorithm stops within
+// one scheduling quantum — a time step, a GVT round, or a queue poll — and
+// the partial Result accumulated so far is returned together with
+// ctx.Err().
+//
+// Dispatch goes through the engine registry: the Algorithm's name (its
+// String) is the registry key, so this function, the CLIs, the figure
+// harness and the benchmarks all resolve algorithms through one table.
+func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	rep, err := engine.Run(ctx, opts.Algorithm.String(), c, engine.Config{
+		Workers:       opts.Workers,
+		Horizon:       opts.Horizon,
+		Probe:         opts.Probe,
+		CostSpin:      opts.CostSpin,
+		Strategy:      opts.Strategy,
+		NoSteal:       opts.NoSteal,
+		CentralQueue:  opts.CentralQueue,
+		NoLookahead:   opts.NoLookahead,
+		GateLookahead: opts.GateLookahead,
+	})
+	if rep == nil {
+		return nil, err
 	}
-	if opts.Horizon < 0 {
-		return nil, fmt.Errorf("parsim: negative horizon %d", opts.Horizon)
-	}
-	workers := opts.Workers
-	if workers == 0 {
-		workers = 1
-	}
-	if workers < 1 {
-		return nil, fmt.Errorf("parsim: %d workers", opts.Workers)
-	}
-	switch opts.Algorithm {
-	case Sequential:
-		if workers != 1 {
-			return nil, fmt.Errorf("parsim: the sequential algorithm is single-worker")
-		}
-		r := seq.Run(c, seq.Options{
-			Horizon: opts.Horizon, Probe: opts.Probe, CostSpin: opts.CostSpin,
-		})
-		return &Result{Stats: r.Run, Final: r.Final}, nil
-	case EventDriven:
-		mode := parevent.Distributed
-		if opts.NoSteal {
-			mode = parevent.NoSteal
-		}
-		if opts.CentralQueue {
-			mode = parevent.Central
-		}
-		r := parevent.Run(c, parevent.Options{
-			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
-			CostSpin: opts.CostSpin, Mode: mode,
-		})
-		return &Result{Stats: r.Run, Final: r.Final}, nil
-	case Compiled:
-		r := compiled.Run(c, compiled.Options{
-			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
-			CostSpin: opts.CostSpin, Strategy: opts.Strategy,
-		})
-		return &Result{Stats: r.Run, Final: r.Final}, nil
-	case Async:
-		r := core.Run(c, core.Options{
-			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
-			CostSpin: opts.CostSpin, NoLookahead: opts.NoLookahead,
-			GateLookahead: opts.GateLookahead,
-		})
-		return &Result{Stats: r.Run, Final: r.Final}, nil
-	case DistAsync:
-		r := dist.Run(c, dist.Options{
-			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
-			CostSpin: opts.CostSpin, Strategy: opts.Strategy,
-		})
-		return &Result{Stats: r.Run, Final: r.Final, Messages: r.Messages}, nil
-	case TimeWarp:
-		r := timewarp.Run(c, timewarp.Options{
-			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
-			CostSpin: opts.CostSpin, Strategy: opts.Strategy,
-		})
-		return &Result{
-			Stats: r.Run, Final: r.Final,
-			Rollbacks: r.Rollbacks, Cancelled: r.Cancelled, PeakLog: r.PeakLog,
-		}, nil
-	case ChandyMisra:
-		r := core.Run(c, core.Options{
-			Workers: workers, Horizon: opts.Horizon, Probe: opts.Probe,
-			CostSpin: opts.CostSpin, DeadlockRecovery: true,
-		})
-		return &Result{Stats: r.Run, Final: r.Final, Rounds: r.Rounds}, nil
-	}
-	return nil, fmt.Errorf("parsim: unknown algorithm %d", opts.Algorithm)
+	tot := rep.Run.Totals()
+	return &Result{
+		Stats:     rep.Run,
+		Final:     rep.Final,
+		Messages:  tot.Messages,
+		Rollbacks: tot.Rollbacks,
+		Cancelled: tot.Cancelled,
+		PeakLog:   rep.PeakLog,
+		Rounds:    rep.Rounds,
+	}, err
 }
 
 // IsUnitDelay reports whether every element has delay 1, the precondition
