@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check figures clean
+.PHONY: build test race vet lint check figures clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+## lint runs the repo's custom vet pass (tools/lint): syntactic checks
+## for sync/atomic misuse around the per-worker counter surface.
+lint:
+	$(GO) run ./tools/lint ./...
+
+check: build vet lint test race
 
 ## figures regenerates the quick machine-readable benchmark snapshot.
 figures:

@@ -10,6 +10,15 @@
 // -bench (inverter-array, mult16-gate, mult16-func, microprocessor,
 // feedback-chain). -timeout bounds the wall-clock time of a run; on expiry
 // the partial statistics accumulated so far are printed.
+//
+// -lint warn|strict runs the static analyzer before simulating and refuses
+// hazardous circuits (zero-delay combinational cycles, undriven inputs).
+// The analyze subcommand runs the same analyzer standalone:
+//
+//	parsim analyze -netlist adder.net -workers 4 -strategy blocks
+//	parsim analyze -bench feedback-chain -json
+//
+// Exit status 1 when the report contains Error-severity diagnostics.
 package main
 
 import (
@@ -22,10 +31,16 @@ import (
 	"strings"
 
 	"parsim"
+	"parsim/internal/analyze"
 	"parsim/internal/engine"
+	"parsim/internal/partition"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	var (
 		netlistPath = flag.String("netlist", "", "netlist file to simulate")
 		benchName   = flag.String("bench", "", "built-in benchmark circuit: inverter-array, mult16-gate, mult16-func, microprocessor, feedback-chain")
@@ -39,8 +54,14 @@ func main() {
 		central     = flag.Bool("central", false, "event-driven: use the contended central queue")
 		spin        = flag.Int64("spin", 0, "synthetic work multiplier per evaluation")
 		summary     = flag.Bool("summary", false, "print circuit statistics before simulating")
+		lintFlag    = flag.String("lint", "off", "pre-flight static analysis: off, warn (refuse errors), strict (refuse warnings too)")
 	)
 	flag.Parse()
+
+	lint, err := engine.ParseLintMode(*lintFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	c, err := loadCircuit(*netlistPath, *benchName)
 	if err != nil {
@@ -62,6 +83,7 @@ func main() {
 		CostSpin:     *spin,
 		NoSteal:      *noSteal,
 		CentralQueue: *central,
+		Lint:         lint,
 	}
 	if eng.Name() == "sequential" {
 		cfg.Workers = 1
@@ -110,6 +132,43 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *vcdPath)
+	}
+}
+
+// runAnalyze implements the analyze subcommand: run the static analyzer
+// standalone and print the report as text or JSON. Exits 1 when the
+// circuit has Error-severity diagnostics (the ones LintWarn refuses).
+func runAnalyze(argv []string) {
+	fs := flag.NewFlagSet("parsim analyze", flag.ExitOnError)
+	var (
+		netlistPath = fs.String("netlist", "", "netlist file to analyze")
+		benchName   = fs.String("bench", "", "built-in benchmark circuit (see parsim -help)")
+		workers     = fs.Int("workers", 0, "include a partition-quality report for this many workers (0 = skip)")
+		stratName   = fs.String("strategy", "round-robin", "partition strategy: round-robin, blocks, cost-lpt")
+		jsonOut     = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	if err := fs.Parse(argv); err != nil {
+		fatal(err)
+	}
+	strategy, err := partition.ParseStrategy(*stratName)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := loadCircuit(*netlistPath, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+	rep := analyze.Analyze(c, analyze.Options{Workers: *workers, Strategy: strategy})
+	if *jsonOut {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if errs, _, _ := rep.Counts(); errs > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,611 @@
+// Package analyze is the pre-flight static analyzer for circuits: a
+// multi-pass whole-graph checker that catches the netlist pathologies the
+// simulators themselves cannot guard against cheaply at run time.
+//
+// The paper's asynchronous "semi-chaotic" algorithm avoids deadlock only
+// because node valid-times advance monotonically — a property that breaks
+// on zero-delay combinational cycles, where an event at time t schedules
+// another event at the same t forever. The conservative-PDES literature
+// (Chandy-Misra descendants, PARSIR's pre-run model checks) handles this
+// class of hazard statically, before the run; this package does the same
+// for every engine in the registry:
+//
+//   - zero-delay combinational cycles (SCC-based, reported with the
+//     offending element path) — the livelock hazard, severity Error;
+//   - undriven nodes feeding element inputs (floating inputs) — Error;
+//   - corrupt hand-assembled graphs (dangling IDs, inconsistent driver
+//     back-pointers) — Error;
+//   - tri-state outputs feeding non-resolving inputs, and wired-resolution
+//     elements with multiple always-driving ("strong") inputs — Warning;
+//   - elements unreachable from any stimulus generator, with the X-source
+//     roots that poison them — Warning;
+//   - zero-delay elements outside cycles — Warning;
+//   - delayed combinational loops (the paper's T4 serialisation case),
+//     non-unit delays (compiled-mode divergence), partition imbalance,
+//     fully disconnected nodes — Info.
+//
+// Beyond diagnostics the Report carries a levelization (topological depth
+// per element over combinational edges, the parallelism profile compiled
+// and synchronous modes can exploit) and an optional partition-quality
+// summary (per-partition evaluation weight, cut edges, fan-out hot spots)
+// computed against internal/partition.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"parsim/internal/circuit"
+	"parsim/internal/partition"
+)
+
+// Severity ranks a diagnostic. Error diagnostics make engines refuse the
+// circuit under LintWarn and LintStrict; Warnings block only under
+// LintStrict; Info never blocks.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "info"
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic codes, one per check.
+const (
+	CodeCorrupt        = "corrupt-graph"
+	CodeZeroDelayCycle = "zero-delay-cycle"
+	CodeZeroDelayElem  = "zero-delay-elem"
+	CodeCombLoop       = "comb-loop"
+	CodeUndriven       = "undriven-node"
+	CodeDangling       = "dangling-node"
+	CodeTriUnresolved  = "tri-unresolved"
+	CodeMultiDriver    = "multi-driver"
+	CodeUnreachable    = "unreachable"
+	CodeXSource        = "x-source"
+	CodeNonUnitDelay   = "non-unit-delay"
+	CodeImbalance      = "partition-imbalance"
+)
+
+// Diag is one typed diagnostic.
+type Diag struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Elem     string   `json:"elem,omitempty"` // element the diagnostic anchors to
+	Node     string   `json:"node,omitempty"` // node the diagnostic anchors to
+	Path     []string `json:"path,omitempty"` // element path (cycles, X-source roots)
+	Msg      string   `json:"msg"`
+}
+
+// String formats the diagnostic as "severity code: msg".
+func (d Diag) String() string {
+	return fmt.Sprintf("%s %s: %s", d.Severity, d.Code, d.Msg)
+}
+
+// Options configures an analysis.
+type Options struct {
+	// Workers > 0 adds the partition-quality report for that many
+	// partitions under Strategy. Workers == 0 skips the partition pass
+	// (the engine pre-flight path does this: partition quality is
+	// reporting, not correctness).
+	Workers  int
+	Strategy partition.Strategy
+}
+
+// Report is the structured outcome of one analysis.
+type Report struct {
+	Circuit  string `json:"circuit"`
+	Nodes    int    `json:"nodes"`
+	Elements int    `json:"elements"`
+
+	Diags []Diag `json:"diags"`
+
+	// MaxLevel is the combinational critical-path depth (levels are
+	// topological depths over combinational edges). -1 when no element
+	// could be levelized, which happens only on corrupt graphs.
+	MaxLevel int `json:"max_level"`
+	// LevelWidths[l] counts elements at depth l — the parallelism profile
+	// available to the synchronous and compiled algorithms.
+	LevelWidths []int `json:"level_widths,omitempty"`
+	// Unlevelized counts elements inside (or fed only through)
+	// combinational cycles, which have no topological depth.
+	Unlevelized int `json:"unlevelized,omitempty"`
+	// Levels holds the per-element depth (-1 for unlevelized elements),
+	// indexed by ElemID. Omitted from JSON: it is O(circuit).
+	Levels []int `json:"-"`
+
+	// Partition is the partition-quality summary, present when
+	// Options.Workers > 0.
+	Partition *PartitionReport `json:"partition,omitempty"`
+}
+
+// Counts returns the number of diagnostics at each severity.
+func (r *Report) Counts() (errs, warns, infos int) {
+	for _, d := range r.Diags {
+		switch d.Severity {
+		case Error:
+			errs++
+		case Warning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	return errs, warns, infos
+}
+
+// Blocking returns the diagnostics that make an engine refuse the
+// circuit: Errors always, Warnings too when strict.
+func (r *Report) Blocking(strict bool) []Diag {
+	var out []Diag
+	for _, d := range r.Diags {
+		if d.Severity == Error || strict && d.Severity == Warning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Err summarises the blocking diagnostics as an error, or returns nil
+// when the circuit passes at the given strictness.
+func (r *Report) Err(strict bool) error {
+	bl := r.Blocking(strict)
+	if len(bl) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d blocking diagnostic(s)", len(bl))
+	for i, d := range bl {
+		if i == 3 {
+			fmt.Fprintf(&sb, "; and %d more", len(bl)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "; [%s] %s: %s", d.Severity, d.Code, d.Msg)
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+func (r *Report) add(d Diag) { r.Diags = append(r.Diags, d) }
+
+// Analyze runs every pass over c and returns the report. The circuit is
+// only read; Analyze is safe to call concurrently with simulations of the
+// same circuit.
+func Analyze(c *circuit.Circuit, opts Options) *Report {
+	r := &Report{
+		Circuit:  c.Name,
+		Nodes:    len(c.Nodes),
+		Elements: len(c.Elems),
+		MaxLevel: -1,
+	}
+	if r.checkStructure(c); len(r.Diags) > 0 {
+		// The graph is not safe to traverse; report the corruption alone.
+		r.sortDiags()
+		return r
+	}
+	g := buildGraph(c)
+	r.checkNodes(c)
+	r.checkDelays(c)
+	r.checkZeroDelayCycles(c, g)
+	r.checkCombLoops(c, g)
+	r.levelize(c, g)
+	r.checkReachability(c, g)
+	if opts.Workers > 0 {
+		r.Partition = partitionReport(c, opts)
+		if r.Partition.Imbalance > imbalanceThreshold {
+			r.add(Diag{
+				Code:     CodeImbalance,
+				Severity: Info,
+				Msg: fmt.Sprintf("partition imbalance %.2f across %d workers under %s (1.00 is perfect)",
+					r.Partition.Imbalance, opts.Workers, opts.Strategy),
+			})
+		}
+	}
+	r.sortDiags()
+	return r
+}
+
+// sortDiags orders diagnostics most severe first, then by code and anchor
+// so output is deterministic.
+func (r *Report) sortDiags() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Elem != b.Elem {
+			return a.Elem < b.Elem
+		}
+		return a.Node < b.Node
+	})
+}
+
+// checkStructure validates that every ID inside the circuit is in range
+// and that driver back-pointers are consistent, so later passes can index
+// freely. Builder output always passes; hand-assembled Circuit literals
+// may not.
+func (r *Report) checkStructure(c *circuit.Circuit) {
+	nn, ne := len(c.Nodes), len(c.Elems)
+	nodeOK := func(id circuit.NodeID) bool { return id >= 0 && int(id) < nn }
+	elemOK := func(id circuit.ElemID) bool { return id >= 0 && int(id) < ne }
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.Driver != circuit.NoElem && !elemOK(nd.Driver) {
+			r.add(Diag{Code: CodeCorrupt, Severity: Error, Node: nd.Name,
+				Msg: fmt.Sprintf("node %q has out-of-range driver element %d", nd.Name, nd.Driver)})
+		}
+		for _, ref := range nd.Fanout {
+			if !elemOK(ref.Elem) {
+				r.add(Diag{Code: CodeCorrupt, Severity: Error, Node: nd.Name,
+					Msg: fmt.Sprintf("node %q fans out to out-of-range element %d", nd.Name, ref.Elem)})
+				continue
+			}
+			if int(ref.Port) >= len(c.Elems[ref.Elem].In) || c.Elems[ref.Elem].In[ref.Port] != circuit.NodeID(i) {
+				r.add(Diag{Code: CodeCorrupt, Severity: Error, Node: nd.Name,
+					Msg: fmt.Sprintf("node %q fan-out entry (%q, port %d) does not match that element's inputs",
+						nd.Name, c.Elems[ref.Elem].Name, ref.Port)})
+			}
+		}
+	}
+	for i := range c.Elems {
+		el := &c.Elems[i]
+		for _, n := range el.In {
+			if !nodeOK(n) {
+				r.add(Diag{Code: CodeCorrupt, Severity: Error, Elem: el.Name,
+					Msg: fmt.Sprintf("element %q reads out-of-range node %d", el.Name, n)})
+			}
+		}
+		for _, n := range el.Out {
+			if !nodeOK(n) {
+				r.add(Diag{Code: CodeCorrupt, Severity: Error, Elem: el.Name,
+					Msg: fmt.Sprintf("element %q drives out-of-range node %d", el.Name, n)})
+			}
+		}
+	}
+}
+
+// checkNodes looks for floating inputs, disconnected nodes and the two
+// drive-conflict shapes the single-driver circuit model can express:
+// tri-state outputs consumed without resolution, and wired-resolution
+// elements whose inputs are always-driving.
+func (r *Report) checkNodes(c *circuit.Circuit) {
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.Driver == circuit.NoElem {
+			if len(nd.Fanout) > 0 {
+				r.add(Diag{Code: CodeUndriven, Severity: Error, Node: nd.Name,
+					Msg: fmt.Sprintf("node %q has no driver but feeds %d input(s) (e.g. %s): those inputs float at X forever",
+						nd.Name, len(nd.Fanout), portName(c, nd.Fanout[0]))})
+			} else {
+				r.add(Diag{Code: CodeDangling, Severity: Info, Node: nd.Name,
+					Msg: fmt.Sprintf("node %q is declared but neither driven nor read", nd.Name)})
+			}
+			continue
+		}
+		if c.Elems[nd.Driver].Kind == circuit.KindTri {
+			var bad []string
+			for _, ref := range nd.Fanout {
+				if c.Elems[ref.Elem].Kind != circuit.KindRes2 {
+					bad = append(bad, c.Elems[ref.Elem].Name)
+				}
+			}
+			if len(bad) > 0 {
+				r.add(Diag{Code: CodeTriUnresolved, Severity: Warning, Node: nd.Name,
+					Msg: fmt.Sprintf("tri-state node %q feeds non-resolving input(s) %s: Z will reach ordinary logic",
+						nd.Name, nameList(bad, 4))})
+			}
+		}
+	}
+	for i := range c.Elems {
+		el := &c.Elems[i]
+		if el.Kind != circuit.KindRes2 {
+			continue
+		}
+		var strong []string
+		for _, in := range el.In {
+			d := c.Nodes[in].Driver
+			if d == circuit.NoElem {
+				continue // already an undriven-node diagnostic
+			}
+			if k := c.Elems[d].Kind; k != circuit.KindTri && k != circuit.KindRes2 {
+				strong = append(strong, c.Elems[d].Name)
+			}
+		}
+		if len(strong) >= 2 {
+			r.add(Diag{Code: CodeMultiDriver, Severity: Warning, Elem: el.Name,
+				Msg: fmt.Sprintf("wired resolution %q joins %d always-driving outputs (%s): a multi-driver conflict, not a bus",
+					el.Name, len(strong), nameList(strong, 4))})
+		}
+	}
+}
+
+// checkDelays summarises delay anomalies: zero-delay elements (the
+// event-driven engines schedule at t+delay, so delay 0 re-enters the
+// current instant) and non-unit delays (compiled mode treats everything
+// as unit delay, so histories diverge).
+func (r *Report) checkDelays(c *circuit.Circuit) {
+	var zero, nonUnit []string
+	for i := range c.Elems {
+		el := &c.Elems[i]
+		switch {
+		case el.Delay == 0:
+			zero = append(zero, el.Name)
+		case el.Delay != 1:
+			nonUnit = append(nonUnit, el.Name)
+		}
+	}
+	if len(zero) > 0 {
+		r.add(Diag{Code: CodeZeroDelayElem, Severity: Warning, Elem: zero[0],
+			Msg: fmt.Sprintf("%d zero-delay element(s) (%s): events re-enter the instant they were produced; every engine assumes delay >= 1 for monotone progress",
+				len(zero), nameList(zero, 4))})
+	}
+	if len(nonUnit) > 0 {
+		r.add(Diag{Code: CodeNonUnitDelay, Severity: Info, Elem: nonUnit[0],
+			Msg: fmt.Sprintf("%d element(s) with delay != 1 (%s): compiled-mode's unit-delay histories will diverge from the event-driven engines",
+				len(nonUnit), nameList(nonUnit, 4))})
+	}
+}
+
+// checkZeroDelayCycles finds cycles made entirely of zero-delay elements
+// over combinational edges: an event in such a cycle schedules its
+// successor at the same timestamp forever, so node valid-times stop
+// advancing and the asynchronous engines livelock. This is the deadlock
+// class conservative PDES systems reject statically, and the one hazard
+// the paper's monotone valid-time argument cannot survive.
+func (r *Report) checkZeroDelayCycles(c *circuit.Circuit, g *graph) {
+	keep := make([]bool, len(c.Elems))
+	any := false
+	for i := range c.Elems {
+		if c.Elems[i].Delay == 0 {
+			keep[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	sub := restrict(g.comb, keep)
+	for _, comp := range sccs(sub, keep) {
+		if !isCycle(sub, comp) {
+			continue
+		}
+		inComp := make([]bool, len(c.Elems))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		cyc := findCycle(sub, inComp, minVertex(comp))
+		path := elemNames(c, cyc)
+		r.add(Diag{Code: CodeZeroDelayCycle, Severity: Error, Elem: path[0], Path: path,
+			Msg: fmt.Sprintf("zero-delay combinational cycle: %s -> %s: valid-times cannot advance through it; asynchronous engines livelock, event-driven engines loop at one timestamp",
+				strings.Join(path, " -> "), path[0])})
+	}
+}
+
+// checkCombLoops reports combinational cycles that do carry delay — legal
+// (the feedback-chain benchmark is one) but exactly the structure the
+// paper's T4 experiment shows serialising the asynchronous algorithm to
+// one event at a time.
+func (r *Report) checkCombLoops(c *circuit.Circuit, g *graph) {
+	const maxReported = 10
+	reported := 0
+	for _, comp := range sccs(g.comb, nil) {
+		if !isCycle(g.comb, comp) {
+			continue
+		}
+		// Pure zero-delay cycles already got an Error.
+		allZero := true
+		var total circuit.Time
+		for _, v := range comp {
+			if d := c.Elems[v].Delay; d != 0 {
+				allZero = false
+			}
+			total += c.Elems[v].Delay
+		}
+		if allZero {
+			continue
+		}
+		if reported++; reported > maxReported {
+			continue
+		}
+		inComp := make([]bool, len(c.Elems))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		cyc := findCycle(g.comb, inComp, minVertex(comp))
+		path := elemNames(c, cyc)
+		r.add(Diag{Code: CodeCombLoop, Severity: Info, Elem: path[0], Path: path,
+			Msg: fmt.Sprintf("combinational loop of %d element(s) (%s ...): serialises the asynchronous algorithm to one event at a time (paper T4)",
+				len(comp), nameList(path, 4))})
+	}
+	if reported > maxReported {
+		r.add(Diag{Code: CodeCombLoop, Severity: Info,
+			Msg: fmt.Sprintf("%d further combinational loop(s) not listed", reported-maxReported)})
+	}
+}
+
+// levelize fills the Report's levelization fields.
+func (r *Report) levelize(c *circuit.Circuit, g *graph) {
+	levels, maxLevel := levelize(g)
+	r.Levels = levels
+	r.MaxLevel = maxLevel
+	if maxLevel >= 0 {
+		r.LevelWidths = make([]int, maxLevel+1)
+	}
+	for _, l := range levels {
+		if l < 0 {
+			r.Unlevelized++
+			continue
+		}
+		r.LevelWidths[l]++
+	}
+}
+
+// checkReachability walks forward from every generator; elements the walk
+// never reaches can only ever output X. The roots of each unreachable
+// region (source SCCs of its condensation) are reported as X-sources with
+// their downstream blast radius.
+func (r *Report) checkReachability(c *circuit.Circuit, g *graph) {
+	n := len(c.Elems)
+	reached := make([]bool, n)
+	var queue []int32
+	for i := range c.Elems {
+		if c.Elems[i].IsGenerator() {
+			reached[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.full[v] {
+			if !reached[w] {
+				reached[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	unreachable := make([]bool, n)
+	var names []string
+	count := 0
+	for i := range c.Elems {
+		if !reached[i] {
+			unreachable[i] = true
+			names = append(names, c.Elems[i].Name)
+			count++
+		}
+	}
+	if count == 0 {
+		return
+	}
+	r.add(Diag{Code: CodeUnreachable, Severity: Warning, Elem: names[0],
+		Msg: fmt.Sprintf("%d of %d element(s) unreachable from any generator (%s): their outputs stay X for the whole run",
+			count, n, nameList(names, 6))})
+
+	// Condense the unreachable subgraph; its source components are the
+	// X-roots. sccs returns reverse topological order, so a component is
+	// a source iff no earlier-ordered... order is reverse-topological
+	// (successors first); compute incoming-edge sets explicitly instead.
+	unsub := restrict(g.full, unreachable)
+	comps := sccs(g.full, unreachable)
+	compOf := make([]int, n)
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	for ci, comp := range comps {
+		for _, v := range comp {
+			compOf[v] = ci
+		}
+	}
+	hasIncoming := make([]bool, len(comps))
+	for v := 0; v < n; v++ {
+		if !unreachable[v] {
+			continue
+		}
+		for _, w := range g.full[v] {
+			if unreachable[w] && compOf[w] != compOf[v] {
+				hasIncoming[compOf[w]] = true
+			}
+		}
+	}
+	for ci, comp := range comps {
+		if hasIncoming[ci] {
+			continue
+		}
+		// Blast radius: everything reachable from this root within the
+		// unreachable region, minus the root itself.
+		seen := make([]bool, n)
+		var bfs []int32
+		for _, v := range comp {
+			seen[v] = true
+			bfs = append(bfs, v)
+		}
+		downstream := 0
+		for len(bfs) > 0 {
+			v := bfs[0]
+			bfs = bfs[1:]
+			for _, w := range g.full[v] {
+				if unreachable[w] && !seen[w] {
+					seen[w] = true
+					downstream++
+					bfs = append(bfs, w)
+				}
+			}
+		}
+		path := elemNames(c, comp)
+		sort.Strings(path)
+		what := "reads only undriven or stimulus-free inputs"
+		if isCycle(unsub, comp) {
+			what = "forms a feedback loop with no generator input"
+		}
+		r.add(Diag{Code: CodeXSource, Severity: Warning, Elem: path[0], Path: path,
+			Msg: fmt.Sprintf("X-source %s %s; poisons %d downstream element(s)",
+				nameList(path, 4), what, downstream)})
+	}
+}
+
+// ---- small helpers ----
+
+// restrict returns a view of adj with edges from or to dropped vertices
+// removed. Cheap: it filters lazily by wrapping each successor scan.
+func restrict(adj [][]int32, keep []bool) [][]int32 {
+	out := make([][]int32, len(adj))
+	for v := range adj {
+		if !keep[v] {
+			continue
+		}
+		for _, w := range adj[v] {
+			if keep[w] {
+				out[v] = append(out[v], w)
+			}
+		}
+	}
+	return out
+}
+
+func minVertex(comp []int32) int32 {
+	min := comp[0]
+	for _, v := range comp[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+func elemNames(c *circuit.Circuit, ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = c.Elems[id].Name
+	}
+	return out
+}
+
+func nameList(names []string, max int) string {
+	if len(names) <= max {
+		return strings.Join(names, ", ")
+	}
+	return strings.Join(names[:max], ", ") + ", ..."
+}
+
+func portName(c *circuit.Circuit, ref circuit.PortRef) string {
+	return fmt.Sprintf("%s port %d", c.Elems[ref.Elem].Name, ref.Port)
+}
+
+const imbalanceThreshold = 1.25

@@ -1,0 +1,342 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/gen"
+	"parsim/internal/logic"
+	"parsim/internal/partition"
+)
+
+// zeroDelayRing builds the canonical livelock hazard: a clock XORed into a
+// ring of inverters, every ring element with delay 0. With the clock high
+// the loop has no stable assignment, so events chase each other at one
+// timestamp forever.
+func zeroDelayRing(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("zero-delay-ring")
+	clk := b.Bit("clk")
+	n0, n1, n2 := b.Bit("n0"), b.Bit("n1"), b.Bit("n2")
+	b.Clock("osc", clk, 4, 0, 0)
+	b.Gate(circuit.KindXor, "inject", 0, n0, clk, n2)
+	b.Gate(circuit.KindNot, "inv1", 0, n1, n0)
+	b.Gate(circuit.KindNot, "inv2", 0, n2, n1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return c
+}
+
+func find(r *Report, code string) *Diag {
+	for i := range r.Diags {
+		if r.Diags[i].Code == code {
+			return &r.Diags[i]
+		}
+	}
+	return nil
+}
+
+func TestZeroDelayCycle(t *testing.T) {
+	r := Analyze(zeroDelayRing(t), Options{})
+	d := find(r, CodeZeroDelayCycle)
+	if d == nil {
+		t.Fatalf("no %s diagnostic: %+v", CodeZeroDelayCycle, r.Diags)
+	}
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want Error", d.Severity)
+	}
+	// The offending element path must walk the whole ring.
+	want := map[string]bool{"inject": true, "inv1": true, "inv2": true}
+	if len(d.Path) != 3 {
+		t.Fatalf("path = %v, want the 3 ring elements", d.Path)
+	}
+	for _, name := range d.Path {
+		if !want[name] {
+			t.Errorf("path %v contains unexpected element %q", d.Path, name)
+		}
+	}
+	if err := r.Err(false); err == nil || !strings.Contains(err.Error(), CodeZeroDelayCycle) {
+		t.Errorf("Err(warn) = %v, want blocking zero-delay-cycle", err)
+	}
+	// A zero-delay-elem warning rides along.
+	if find(r, CodeZeroDelayElem) == nil {
+		t.Errorf("no %s warning: %+v", CodeZeroDelayElem, r.Diags)
+	}
+}
+
+func TestDelayedCombLoopIsInfoOnly(t *testing.T) {
+	r := Analyze(gen.FeedbackChain(15), Options{})
+	d := find(r, CodeCombLoop)
+	if d == nil {
+		t.Fatalf("no %s diagnostic on the feedback chain: %+v", CodeCombLoop, r.Diags)
+	}
+	if d.Severity != Info {
+		t.Errorf("severity = %v, want Info (a delayed ring is legal)", d.Severity)
+	}
+	if find(r, CodeZeroDelayCycle) != nil {
+		t.Error("delayed ring must not be a zero-delay cycle")
+	}
+	// T4's ring must pass even strict lint: it is the paper's benchmark.
+	if err := r.Err(true); err != nil {
+		t.Errorf("Err(strict) = %v, want nil", err)
+	}
+	// The ring elements cannot be levelized.
+	if r.Unlevelized != 16 { // 15 inverters + mux
+		t.Errorf("unlevelized = %d, want 16", r.Unlevelized)
+	}
+}
+
+func TestMultiDriverAndTriDiagnostics(t *testing.T) {
+	b := circuit.NewBuilder("drive")
+	a, bb := b.Bit("a"), b.Bit("b")
+	res := b.Bit("res")
+	en := b.Bit("en")
+	tout := b.Bit("tout")
+	y := b.Bit("y")
+	b.Const("ca", a, logic.V(1, 0))
+	b.Const("cb", bb, logic.V(1, 1))
+	// Two always-driving outputs joined by a wired resolution.
+	b.Gate(circuit.KindRes2, "join", 1, res, a, bb)
+	// A tri-state output consumed by plain logic.
+	b.Const("cen", en, logic.V(1, 1))
+	b.AddElement(circuit.KindTri, "t", 1, []circuit.NodeID{tout},
+		[]circuit.NodeID{en, a}, circuit.Params{})
+	b.Gate(circuit.KindAnd, "g", 1, y, tout, res)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	r := Analyze(c, Options{})
+	if d := find(r, CodeMultiDriver); d == nil || d.Severity != Warning {
+		t.Errorf("multi-driver diagnostic = %+v, want Warning", d)
+	} else if !strings.Contains(d.Msg, "ca") || !strings.Contains(d.Msg, "cb") {
+		t.Errorf("multi-driver msg misses driver names: %s", d.Msg)
+	}
+	if d := find(r, CodeTriUnresolved); d == nil || d.Severity != Warning {
+		t.Errorf("tri-unresolved diagnostic = %+v, want Warning", d)
+	}
+	// Warnings block under strict but not warn mode.
+	if err := r.Err(false); err != nil {
+		t.Errorf("Err(warn) = %v, want nil", err)
+	}
+	if err := r.Err(true); err == nil {
+		t.Error("Err(strict) = nil, want blocking warnings")
+	}
+}
+
+func TestFloatingAndDanglingNodes(t *testing.T) {
+	// Hand-assembled circuit (the Builder refuses undriven nodes; a
+	// Circuit literal does not, and the analyzer must catch it).
+	c := &circuit.Circuit{
+		Name: "hand",
+		Nodes: []circuit.Node{
+			{ID: 0, Name: "float", Width: 1, Driver: circuit.NoElem,
+				Fanout: []circuit.PortRef{{Elem: 0, Port: 0}}},
+			{ID: 1, Name: "y", Width: 1, Driver: 0},
+			{ID: 2, Name: "island", Width: 1, Driver: circuit.NoElem},
+		},
+		Elems: []circuit.Element{
+			{ID: 0, Name: "g", Kind: circuit.KindBuf, In: []circuit.NodeID{0},
+				Out: []circuit.NodeID{1}, Delay: 1},
+		},
+	}
+	r := Analyze(c, Options{})
+	if d := find(r, CodeUndriven); d == nil || d.Severity != Error || d.Node != "float" {
+		t.Errorf("undriven diagnostic = %+v", d)
+	}
+	if d := find(r, CodeDangling); d == nil || d.Severity != Info || d.Node != "island" {
+		t.Errorf("dangling diagnostic = %+v", d)
+	}
+}
+
+func TestCorruptGraph(t *testing.T) {
+	c := &circuit.Circuit{
+		Name: "corrupt",
+		Nodes: []circuit.Node{
+			{ID: 0, Name: "n", Width: 1, Driver: 7}, // no such element
+		},
+	}
+	r := Analyze(c, Options{})
+	d := find(r, CodeCorrupt)
+	if d == nil || d.Severity != Error {
+		t.Fatalf("corrupt diagnostic = %+v", d)
+	}
+	// Corruption short-circuits the other passes.
+	if len(r.Diags) != 1 {
+		t.Errorf("diags = %+v, want the corruption alone", r.Diags)
+	}
+}
+
+func TestUnreachableAndXSource(t *testing.T) {
+	// Cross-coupled inverter pair with no generator anywhere: builds
+	// fine, but no stimulus can ever reach it.
+	b := circuit.NewBuilder("sr")
+	q, qb := b.Bit("q"), b.Bit("qb")
+	b.Gate(circuit.KindNot, "g1", 1, q, qb)
+	b.Gate(circuit.KindNot, "g2", 1, qb, q)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	r := Analyze(c, Options{})
+	if d := find(r, CodeUnreachable); d == nil || d.Severity != Warning {
+		t.Fatalf("unreachable diagnostic = %+v", d)
+	}
+	d := find(r, CodeXSource)
+	if d == nil || d.Severity != Warning {
+		t.Fatalf("x-source diagnostic = %+v", d)
+	}
+	if len(d.Path) != 2 || d.Path[0] != "g1" || d.Path[1] != "g2" {
+		t.Errorf("x-source root = %v, want [g1 g2]", d.Path)
+	}
+	if !strings.Contains(d.Msg, "feedback loop") {
+		t.Errorf("x-source msg should identify the stimulus-free loop: %s", d.Msg)
+	}
+}
+
+func TestLevelizationDepthAndTriggerCut(t *testing.T) {
+	b := circuit.NewBuilder("levels")
+	clk := b.Bit("clk")
+	n0, n1, n2 := b.Bit("n0"), b.Bit("n1"), b.Bit("n2")
+	q, m := b.Bit("q"), b.Bit("m")
+	b.Clock("osc", clk, 4, 0, 0)
+	b.Const("c0", n0, logic.V(1, 0))
+	b.Gate(circuit.KindNot, "i1", 1, n1, n0)
+	b.Gate(circuit.KindNot, "i2", 1, n2, n1)
+	b.AddElement(circuit.KindDFF, "ff", 1, []circuit.NodeID{q},
+		[]circuit.NodeID{clk, n2}, circuit.Params{})
+	b.Gate(circuit.KindNot, "i3", 1, m, q)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	r := Analyze(c, Options{})
+	level := func(name string) int { return r.Levels[c.ElByName[name]] }
+	if level("osc") != 0 || level("c0") != 0 {
+		t.Errorf("generator levels = %d, %d, want 0, 0", level("osc"), level("c0"))
+	}
+	if level("i1") != 1 || level("i2") != 2 {
+		t.Errorf("chain levels = %d, %d, want 1, 2", level("i1"), level("i2"))
+	}
+	// The DFF ranks off its clock (trigger), not its depth-2 data input.
+	if level("ff") != 1 {
+		t.Errorf("dff level = %d, want 1 (clock trigger, data edge cut)", level("ff"))
+	}
+	if level("i3") != 2 {
+		t.Errorf("post-register level = %d, want 2", level("i3"))
+	}
+	if r.MaxLevel != 2 {
+		t.Errorf("max level = %d, want 2", r.MaxLevel)
+	}
+	wantWidths := []int{2, 2, 2} // osc+c0 / i1+ff / i2+i3
+	for l, w := range wantWidths {
+		if r.LevelWidths[l] != w {
+			t.Errorf("level %d width = %d, want %d", l, r.LevelWidths[l], w)
+		}
+	}
+	if r.Unlevelized != 0 {
+		t.Errorf("unlevelized = %d, want 0", r.Unlevelized)
+	}
+}
+
+func TestPartitionQualityReport(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{
+		Rows: 8, Cols: 8, ActiveRows: 8, TogglePeriod: 1,
+	})
+	// 3 workers so the contiguous blocks of ceil(64/3) = 22 elements
+	// split inverter rows mid-chain and produce cut edges.
+	r := Analyze(c, Options{Workers: 3, Strategy: partition.Blocks})
+	p := r.Partition
+	if p == nil {
+		t.Fatal("no partition report")
+	}
+	if p.Workers != 3 || p.Strategy != "blocks" {
+		t.Errorf("partition header = %+v", p)
+	}
+	elems, cost := 0, int64(0)
+	for _, pi := range p.Parts {
+		elems += pi.Elems
+		cost += pi.Cost
+	}
+	if elems != 64 { // 8x8 inverters; generators excluded
+		t.Errorf("partitioned elems = %d, want 64", elems)
+	}
+	if cost != 64 {
+		t.Errorf("partitioned cost = %d, want 64", cost)
+	}
+	// 8 rows of 8 chained inverters: 56 inverter-to-inverter edges.
+	if p.TotalEdges != 56 {
+		t.Errorf("total edges = %d, want 56", p.TotalEdges)
+	}
+	if p.CutEdges <= 0 || p.CutEdges >= p.TotalEdges {
+		t.Errorf("cut edges = %d of %d, want a proper subset", p.CutEdges, p.TotalEdges)
+	}
+	if p.Imbalance < 1.0 {
+		t.Errorf("imbalance = %f, want >= 1", p.Imbalance)
+	}
+	// The engine pre-flight path skips the partition pass.
+	if Analyze(c, Options{}).Partition != nil {
+		t.Error("partition report computed without Workers")
+	}
+}
+
+func TestCleanCircuitPassesStrict(t *testing.T) {
+	c := gen.InverterArray(gen.InverterArrayConfig{
+		Rows: 4, Cols: 4, ActiveRows: 4, TogglePeriod: 1,
+	})
+	r := Analyze(c, Options{})
+	if err := r.Err(true); err != nil {
+		t.Errorf("clean circuit blocked under strict: %v", err)
+	}
+	errs, warns, _ := r.Counts()
+	if errs != 0 || warns != 0 {
+		t.Errorf("clean circuit produced %d errors, %d warnings: %+v", errs, warns, r.Diags)
+	}
+}
+
+func TestReportOutputFormats(t *testing.T) {
+	r := Analyze(zeroDelayRing(t), Options{Workers: 2, Strategy: partition.RoundRobin})
+	var text bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"zero-delay-cycle", "levelization", "partition: 2 workers"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output misses %q:\n%s", want, text.String())
+		}
+	}
+	var jsonOut bytes.Buffer
+	if err := r.WriteJSON(&jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Circuit string `json:"circuit"`
+		Diags   []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"diags"`
+		Partition *struct {
+			Workers int `json:"workers"`
+		} `json:"partition"`
+	}
+	if err := json.Unmarshal(jsonOut.Bytes(), &decoded); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, jsonOut.String())
+	}
+	if decoded.Circuit != "zero-delay-ring" || decoded.Partition == nil || decoded.Partition.Workers != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	found := false
+	for _, d := range decoded.Diags {
+		if d.Code == CodeZeroDelayCycle && d.Severity == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON misses the zero-delay-cycle error: %s", jsonOut.String())
+	}
+}

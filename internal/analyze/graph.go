@@ -1,0 +1,236 @@
+package analyze
+
+import "parsim/internal/circuit"
+
+// graph is the element-level dependency view of a circuit: one vertex per
+// element, one edge driver -> consumer for every (node, fan-out port)
+// pair. Two edge sets are kept:
+//
+//   - full: every propagation edge, used for reachability (can a stimulus
+//     event ever arrive here?);
+//   - comb: edges that can forward an event without waiting for a separate
+//     trigger, used for loop detection and levelization. An edge into a
+//     clocked element's non-trigger port (a DFF's data input, a RAM's
+//     write port) is cut: the value is merely sampled when the trigger
+//     fires, so it cannot keep a combinational wave circulating.
+type graph struct {
+	full [][]int32
+	comb [][]int32
+}
+
+func buildGraph(c *circuit.Circuit) *graph {
+	n := len(c.Elems)
+	g := &graph{
+		full: make([][]int32, n),
+		comb: make([][]int32, n),
+	}
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.Driver == circuit.NoElem {
+			continue
+		}
+		d := int32(nd.Driver)
+		for _, ref := range nd.Fanout {
+			g.full[d] = append(g.full[d], int32(ref.Elem))
+			if combPort(c.Elems[ref.Elem].Kind, ref.Port) {
+				g.comb[d] = append(g.comb[d], int32(ref.Elem))
+			}
+		}
+	}
+	return g
+}
+
+// combPort reports whether an event arriving on the given input port of an
+// element of kind k can propagate to the element's outputs on its own.
+// For kinds with trigger ports (TriggerPorts != nil) only the trigger
+// inputs qualify; everything else is sampled state.
+func combPort(k circuit.Kind, port int32) bool {
+	tp := circuit.TriggerPorts(k)
+	if tp == nil {
+		return true
+	}
+	for _, p := range tp {
+		if int32(p) == port {
+			return true
+		}
+	}
+	return false
+}
+
+// sccs runs Tarjan's algorithm over adj restricted to the vertices where
+// keep[v] is true (keep == nil keeps everything) and returns the strongly
+// connected components in reverse topological order.
+func sccs(adj [][]int32, keep []bool) [][]int32 {
+	n := len(adj)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack []int32
+		comps [][]int32
+		next  int32
+	)
+	kept := func(v int32) bool { return keep == nil || keep[v] }
+
+	// Iterative Tarjan: frame.ei is the next out-edge of frame.v to scan.
+	type frame struct {
+		v  int32
+		ei int
+	}
+	var frames []frame
+	for root := int32(0); root < int32(n); root++ {
+		if !kept(root) || index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if !kept(w) {
+					continue
+				}
+				switch {
+				case index[w] == unvisited:
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				case onStack[w]:
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// hasSelfEdge reports whether v has an edge to itself in adj (restricted
+// to kept vertices, though a self-edge is by definition kept with v).
+func hasSelfEdge(adj [][]int32, v int32) bool {
+	for _, w := range adj[v] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// isCycle reports whether comp is a genuine cycle: more than one vertex,
+// or a single vertex with a self-edge.
+func isCycle(adj [][]int32, comp []int32) bool {
+	return len(comp) > 1 || hasSelfEdge(adj, comp[0])
+}
+
+// findCycle extracts one explicit cycle through the component, as a
+// vertex sequence whose last element closes back on the first. inComp
+// must be true exactly for the component's vertices.
+func findCycle(adj [][]int32, inComp []bool, start int32) []int32 {
+	pos := map[int32]int{start: 0}
+	path := []int32{start}
+	cur := start
+	for {
+		var nxt int32 = -1
+		for _, w := range adj[cur] {
+			if inComp[w] {
+				nxt = w
+				break
+			}
+		}
+		if nxt < 0 {
+			// Cannot happen inside a non-trivial SCC, but stay safe.
+			return path
+		}
+		if at, seen := pos[nxt]; seen {
+			return path[at:]
+		}
+		pos[nxt] = len(path)
+		path = append(path, nxt)
+		cur = nxt
+	}
+}
+
+// levelize computes each element's topological depth over the
+// combinational edge set: generators and elements with no combinational
+// predecessors sit at level 0, every other acyclic element at
+// 1 + max(predecessor level). Elements inside (or fed only through)
+// combinational cycles get level -1.
+func levelize(g *graph) (levels []int, maxLevel int) {
+	n := len(g.comb)
+	indeg := make([]int, n)
+	for _, succs := range g.comb {
+		for _, w := range succs {
+			indeg[w]++
+		}
+	}
+	levels = make([]int, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			levels[v] = 0
+			queue = append(queue, int32(v))
+		}
+	}
+	maxLevel = -1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if levels[v] > maxLevel {
+			maxLevel = levels[v]
+		}
+		for _, w := range g.comb[v] {
+			if levels[w] < levels[v]+1 {
+				levels[w] = levels[v] + 1
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Vertices whose indegree never reached zero are in or behind a cycle:
+	// reset any provisional level.
+	for v := 0; v < n; v++ {
+		if indeg[v] > 0 {
+			levels[v] = -1
+		}
+	}
+	return levels, maxLevel
+}

@@ -1,0 +1,65 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the report for humans, one finding per line.
+func (r *Report) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "analyze %s: %d nodes, %d elements\n", r.Circuit, r.Nodes, r.Elements)
+	if r.MaxLevel >= 0 {
+		fmt.Fprintf(&sb, "  levelization: depth %d, widths %s", r.MaxLevel, widthsString(r.LevelWidths))
+		if r.Unlevelized > 0 {
+			fmt.Fprintf(&sb, " (+%d in combinational cycles)", r.Unlevelized)
+		}
+		sb.WriteByte('\n')
+	} else {
+		sb.WriteString("  levelization: none (no element could be ranked)\n")
+	}
+	errs, warns, infos := r.Counts()
+	fmt.Fprintf(&sb, "  diagnostics: %d error(s), %d warning(s), %d info\n", errs, warns, infos)
+	for _, d := range r.Diags {
+		fmt.Fprintf(&sb, "    %-7s %s: %s\n", d.Severity, d.Code, d.Msg)
+	}
+	if p := r.Partition; p != nil {
+		fmt.Fprintf(&sb, "  partition: %d workers, %s: imbalance %.2f, cut %d/%d edges\n",
+			p.Workers, p.Strategy, p.Imbalance, p.CutEdges, p.TotalEdges)
+		for i, pi := range p.Parts {
+			fmt.Fprintf(&sb, "    p%-3d %5d elems, cost %d\n", i, pi.Elems, pi.Cost)
+		}
+		for _, h := range p.HotNodes {
+			fmt.Fprintf(&sb, "    hot node %s: fanout %d across %d partitions\n",
+				h.Node, h.Fanout, h.Partitions)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// widthsString compacts the level-width profile: full up to 16 levels,
+// else the first 16 with a tail marker.
+func widthsString(widths []int) string {
+	const max = 16
+	show := widths
+	tail := ""
+	if len(show) > max {
+		show = show[:max]
+		tail = " ..."
+	}
+	parts := make([]string, len(show))
+	for i, w := range show {
+		parts[i] = fmt.Sprint(w)
+	}
+	return "[" + strings.Join(parts, " ") + tail + "]"
+}

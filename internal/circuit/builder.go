@@ -2,6 +2,7 @@ package circuit
 
 import (
 	"fmt"
+	"strings"
 
 	"parsim/internal/logic"
 )
@@ -64,15 +65,18 @@ func (b *Builder) Lookup(name string) (NodeID, bool) {
 }
 
 // AddElement declares an element. Outputs and inputs are node IDs from
-// Node. Delay must be >= 1 tick. The element's evaluation cost starts at
-// the kind's default (DefaultCost) and may be adjusted on the built
-// circuit for cost-model experiments.
+// Node. Delay must be >= 0 ticks; zero-delay elements build but are
+// hazardous (a zero-delay combinational cycle livelocks the asynchronous
+// engines), which the static analyzer in internal/analyze reports and the
+// engines' Lint modes refuse. The element's evaluation cost starts at the
+// kind's default (DefaultCost) and may be adjusted on the built circuit
+// for cost-model experiments.
 func (b *Builder) AddElement(kind Kind, name string, delay Time, outs, ins []NodeID, params Params) ElemID {
 	if _, ok := b.byE[name]; ok {
-		b.errorf("element %q declared twice", name)
+		b.errorf("element %q (%s): declared twice", name, KindName(kind))
 	}
-	if delay < 1 {
-		b.errorf("element %q delay %d < 1", name, delay)
+	if delay < 0 {
+		b.errorf("element %q (%s): negative delay %d", name, KindName(kind), delay)
 		delay = 1
 	}
 	id := ElemID(len(b.elems))
@@ -91,7 +95,9 @@ func (b *Builder) AddElement(kind Kind, name string, delay Time, outs, ins []Nod
 	for port, n := range outs {
 		nd := &b.nodes[n]
 		if nd.Driver != NoElem {
-			b.errorf("node %q driven by both %q and %q", nd.Name, b.elems[nd.Driver].Name, name)
+			prev := &b.elems[nd.Driver]
+			b.errorf("node %q driven by both %q (%s) and %q (%s)",
+				nd.Name, prev.Name, KindName(prev.Kind), name, KindName(kind))
 			continue
 		}
 		nd.Driver = id
@@ -149,9 +155,32 @@ func (c *checker) errorf(format string, args ...any) {
 func (c *checker) inW(i int) int  { return c.b.nodes[c.el.In[i]].Width }
 func (c *checker) outW(i int) int { return c.b.nodes[c.el.Out[i]].Width }
 
+// BuildErrors aggregates every problem found while building a circuit, so
+// one Build reports all mistakes instead of the first. It unwraps to the
+// individual errors for errors.Is/As.
+type BuildErrors struct {
+	Circuit string
+	Errs    []error
+}
+
+// Error lists every accumulated error, one per line.
+func (e *BuildErrors) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "circuit %q: %d error(s):", e.Circuit, len(e.Errs))
+	for _, err := range e.Errs {
+		sb.WriteString("\n  ")
+		sb.WriteString(err.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap returns the individual errors.
+func (e *BuildErrors) Unwrap() []error { return e.Errs }
+
 // Build validates the netlist and returns the immutable Circuit. It fails if
 // any node is undriven or multiply driven, any port count or width is wrong
-// for its kind, or any accumulated construction error occurred.
+// for its kind, or any accumulated construction error occurred; every
+// error is reported, collected in a *BuildErrors.
 func (b *Builder) Build() (*Circuit, error) {
 	for i := range b.elems {
 		el := &b.elems[i]
@@ -182,7 +211,7 @@ func (b *Builder) Build() (*Circuit, error) {
 		}
 	}
 	if len(b.errs) > 0 {
-		return nil, fmt.Errorf("circuit %q: %d errors, first: %w", b.name, len(b.errs), b.errs[0])
+		return nil, &BuildErrors{Circuit: b.name, Errs: b.errs}
 	}
 	c := &Circuit{
 		Name:     b.name,

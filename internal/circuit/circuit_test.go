@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -500,14 +501,59 @@ func TestBuilderValidation(t *testing.T) {
 			t.Errorf("err = %v", err)
 		}
 	})
-	t.Run("zero delay", func(t *testing.T) {
+	t.Run("negative delay", func(t *testing.T) {
 		b := NewBuilder("bad")
 		a := b.Bit("a")
 		y := b.Bit("y")
 		b.Const("ca", a, logic.V(1, 0))
-		b.Gate(KindNot, "g", 0, y, a)
+		b.Gate(KindNot, "g", -1, y, a)
 		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "delay") {
 			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("zero delay builds", func(t *testing.T) {
+		// Zero delay is representable (the static analyzer, not the
+		// builder, polices zero-delay cycles).
+		b := NewBuilder("zd")
+		a := b.Bit("a")
+		y := b.Bit("y")
+		b.Const("ca", a, logic.V(1, 0))
+		b.Gate(KindNot, "g", 0, y, a)
+		c, err := b.Build()
+		if err != nil {
+			t.Fatalf("zero-delay circuit must build: %v", err)
+		}
+		if d := c.Elems[c.ElByName["g"]].Delay; d != 0 {
+			t.Errorf("delay = %d, want 0", d)
+		}
+	})
+	t.Run("all errors aggregated", func(t *testing.T) {
+		b := NewBuilder("bad")
+		a := b.Bit("a")
+		y := b.Bit("y")
+		b.Const("ca", a, logic.V(1, 0))
+		b.Gate(KindNot, "g", -1, y, a)  // negative delay
+		b.Const("cy", y, logic.V(1, 0)) // y multiply driven
+		_ = b.Node("orphan", 1)         // undriven node
+		_, err := b.Build()
+		if err == nil {
+			t.Fatal("want error")
+		}
+		var agg *BuildErrors
+		if !errors.As(err, &agg) {
+			t.Fatalf("err %T is not *BuildErrors", err)
+		}
+		if len(agg.Errs) < 3 {
+			t.Errorf("aggregated %d errors, want >= 3: %v", len(agg.Errs), err)
+		}
+		for _, want := range []string{"delay", "driven by both", "no driver"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error text misses %q: %v", want, err)
+			}
+		}
+		// Element context (name and kind) must survive into each message.
+		if !strings.Contains(err.Error(), `"g" (not)`) {
+			t.Errorf("error text misses element context: %v", err)
 		}
 	})
 	t.Run("node redeclared width", func(t *testing.T) {

@@ -21,12 +21,56 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"parsim/internal/analyze"
 	"parsim/internal/circuit"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
 	"parsim/internal/trace"
 )
+
+// LintMode selects how much pre-flight static analysis RunEngine applies
+// before handing the circuit to an engine. The analysis is the
+// whole-graph checker in internal/analyze; it runs once in the shared
+// validation path, so every registered engine gets the same guarantees.
+type LintMode int
+
+const (
+	// LintOff (the default) skips pre-flight analysis entirely.
+	LintOff LintMode = iota
+	// LintWarn refuses circuits with Error diagnostics — the hazards that
+	// livelock or corrupt a run, such as zero-delay combinational cycles
+	// and undriven inputs.
+	LintWarn
+	// LintStrict additionally refuses Warning diagnostics: unresolved
+	// tri-states, multi-driver resolutions, stimulus-free regions and
+	// zero-delay elements.
+	LintStrict
+)
+
+// String returns the flag-style mode name.
+func (m LintMode) String() string {
+	switch m {
+	case LintWarn:
+		return "warn"
+	case LintStrict:
+		return "strict"
+	}
+	return "off"
+}
+
+// ParseLintMode parses a -lint flag value.
+func ParseLintMode(s string) (LintMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off", "":
+		return LintOff, nil
+	case "warn":
+		return LintWarn, nil
+	case "strict":
+		return LintStrict, nil
+	}
+	return LintOff, fmt.Errorf("parsim: unknown lint mode %q (have off, warn, strict)", s)
+}
 
 // Config is the shared configuration accepted by every engine. Fields that
 // do not apply to an algorithm are ignored by it (e.g. Strategy outside
@@ -44,6 +88,9 @@ type Config struct {
 	// CollectAvail records the elements-available-per-step histogram
 	// (sequential and event-driven engines).
 	CollectAvail bool
+	// Lint selects the pre-flight static-analysis level applied in the
+	// shared validation path before any engine runs (see LintMode).
+	Lint LintMode
 
 	// Ablation flags, honoured by the engine they name.
 	NoSteal       bool // event-driven: disable end-of-phase work stealing
@@ -152,6 +199,12 @@ func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Lint != LintOff {
+		rep := analyze.Analyze(c, analyze.Options{})
+		if err := rep.Err(cfg.Lint == LintStrict); err != nil {
+			return nil, fmt.Errorf("parsim: lint (%s) rejected circuit %q: %w", cfg.Lint, c.Name, err)
+		}
 	}
 	return e.Run(ctx, c, cfg)
 }

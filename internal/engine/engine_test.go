@@ -106,6 +106,70 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestLintModeParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want LintMode
+		ok   bool
+	}{
+		{"off", LintOff, true},
+		{"", LintOff, true},
+		{"warn", LintWarn, true},
+		{"WARN", LintWarn, true},
+		{" strict ", LintStrict, true},
+		{"pedantic", LintOff, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseLintMode(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseLintMode(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseLintMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// String round-trips through Parse for every mode.
+	for _, m := range []LintMode{LintOff, LintWarn, LintStrict} {
+		back, err := ParseLintMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round-trip %v -> %q -> %v (err %v)", m, m.String(), back, err)
+		}
+	}
+}
+
+func TestLintGateInRunEngine(t *testing.T) {
+	var got Config
+	Register(&fake{name: "lint-engine", got: &got})
+	c := testCircuit(t)
+
+	// A clean circuit passes even under strict.
+	if _, err := Run(context.Background(), "lint-engine", c, Config{Horizon: 1, Lint: LintStrict}); err != nil {
+		t.Fatalf("strict lint rejected clean circuit: %v", err)
+	}
+
+	// A zero-delay ring is refused under warn and strict but runs with
+	// lint off (the fake engine ignores the circuit entirely).
+	b := circuit.NewBuilder("ring")
+	n0, n1 := b.Bit("n0"), b.Bit("n1")
+	b.Gate(circuit.KindNot, "a", 0, n1, n0)
+	b.Gate(circuit.KindNot, "b", 0, n0, n1)
+	ring, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []LintMode{LintWarn, LintStrict} {
+		if _, err := Run(context.Background(), "lint-engine", ring, Config{Horizon: 1, Lint: mode}); err == nil {
+			t.Errorf("lint %v accepted a zero-delay ring", mode)
+		} else if !strings.Contains(err.Error(), "zero-delay-cycle") {
+			t.Errorf("lint %v error does not name the diagnostic: %v", mode, err)
+		}
+	}
+	if _, err := Run(context.Background(), "lint-engine", ring, Config{Horizon: 1, Lint: LintOff}); err != nil {
+		t.Errorf("lint off still rejected the circuit: %v", err)
+	}
+}
+
 func TestCancelFlag(t *testing.T) {
 	// Background context: no watcher, never cancelled.
 	f := WatchCancel(context.Background())

@@ -95,6 +95,11 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var b *circuit.Builder
 	lineNo := 0
+	// The builder merges repeated Node calls and defers element errors to
+	// Build; in the textual format a repeated declaration is a typo, so
+	// track first-declaration lines and fail fast with both locations.
+	nodeLine := map[string]int{}
+	elemLine := map[string]int{}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -122,10 +127,20 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 			if err != nil {
 				return nil, fmt.Errorf("netlist:%d: bad width %q", lineNo, fields[2])
 			}
+			if first, dup := nodeLine[fields[1]]; dup {
+				return nil, fmt.Errorf("netlist:%d: node %q already declared at line %d", lineNo, fields[1], first)
+			}
+			nodeLine[fields[1]] = lineNo
 			b.Node(fields[1], width)
 		case "elem":
 			if b == nil {
 				return nil, fmt.Errorf("netlist:%d: elem before circuit line", lineNo)
+			}
+			if len(fields) >= 3 {
+				if first, dup := elemLine[fields[2]]; dup {
+					return nil, fmt.Errorf("netlist:%d: element %q already declared at line %d", lineNo, fields[2], first)
+				}
+				elemLine[fields[2]] = lineNo
 			}
 			if err := parseElem(b, fields[1:]); err != nil {
 				return nil, fmt.Errorf("netlist:%d: %v", lineNo, err)
@@ -140,7 +155,11 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 	if b == nil {
 		return nil, fmt.Errorf("netlist: no circuit line")
 	}
-	return b.Build()
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	return c, nil
 }
 
 func parseElem(b *circuit.Builder, fields []string) error {

@@ -106,6 +106,56 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// TestReadDuplicateDeclarations: repeated node/elem names are parse
+// errors that point at both the duplicate and the original line.
+func TestReadDuplicateDeclarations(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{
+			"circuit x\nnode a 1\nnode a 1\n",
+			[]string{"netlist:3", `node "a" already declared at line 2`},
+		},
+		{
+			"circuit x\nnode a 1\nnode b 1\nelem not g out=a in=b\nelem not g out=b in=a\n",
+			[]string{"netlist:5", `element "g" already declared at line 4`},
+		},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.src))
+		if err == nil {
+			t.Errorf("Read(%q) accepted a duplicate declaration", tc.src)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("Read(%q) err = %v, want containing %q", tc.src, err, want)
+			}
+		}
+	}
+}
+
+// TestReadErrorsCarryLineNumbers: every parse-stage failure names the
+// offending line as netlist:<n>.
+func TestReadErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		line string
+	}{
+		{"circuit x\nnode a\n", "netlist:2"},
+		{"circuit x\nnode a 1\n# comment\nelem bogus e out=a\n", "netlist:4"},
+		{"circuit x\n\n\nwat\n", "netlist:4"},
+		{"circuit x\nnode a 1\nelem not e out=a in=missing\n", "netlist:3"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.line) {
+			t.Errorf("Read(%q) err = %v, want containing %q", tc.src, err, tc.line)
+		}
+	}
+}
+
 func TestValidationErrorsPropagate(t *testing.T) {
 	// Undriven node must fail circuit validation at Build.
 	src := "circuit x\nnode a 1\nnode b 1\nelem not e out=b in=a"

@@ -6,7 +6,9 @@
 package partition
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"parsim/internal/circuit"
 )
@@ -37,6 +39,19 @@ func (s Strategy) String() string {
 		return "cost-lpt"
 	}
 	return "unknown"
+}
+
+// ParseStrategy parses a flag-style strategy name as produced by String.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "round-robin", "roundrobin", "rr", "":
+		return RoundRobin, nil
+	case "blocks", "block":
+		return Blocks, nil
+	case "cost-lpt", "costlpt", "lpt":
+		return CostLPT, nil
+	}
+	return RoundRobin, fmt.Errorf("parsim: unknown partition strategy %q (have round-robin, blocks, cost-lpt)", s)
 }
 
 // Split assigns every non-generator element of c to one of p partitions.

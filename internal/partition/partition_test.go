@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"strings"
 	"testing"
 
 	"parsim/internal/circuit"
@@ -33,6 +34,28 @@ func checkCover(t *testing.T, c *circuit.Circuit, parts [][]circuit.ElemID) {
 	}
 	if len(seen) != want {
 		t.Errorf("covered %d elements, want %d", len(seen), want)
+	}
+}
+
+// TestParseStrategy: every String() output round-trips, aliases resolve,
+// and unknown names are rejected with the list of valid ones.
+func TestParseStrategy(t *testing.T) {
+	for _, s := range strategies() {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round-trip %v -> %q -> %v (err %v)", s, s.String(), got, err)
+		}
+	}
+	for in, want := range map[string]Strategy{
+		"rr": RoundRobin, "": RoundRobin, "LPT": CostLPT, "block": Blocks,
+	} {
+		if got, err := ParseStrategy(in); err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("kernighan-lin"); err == nil ||
+		!strings.Contains(err.Error(), "round-robin") {
+		t.Errorf("unknown strategy err = %v, want list of valid names", err)
 	}
 }
 

@@ -45,6 +45,7 @@ package parsim
 import (
 	"context"
 
+	"parsim/internal/analyze"
 	"parsim/internal/circuit"
 	"parsim/internal/compiled"
 	"parsim/internal/engine"
@@ -255,6 +256,12 @@ type Options struct {
 	// optimisation: events behind a pinned AND/NAND/OR/NOR input are
 	// consumed without evaluating the gate model.
 	GateLookahead bool
+	// Lint selects the pre-flight static analysis applied before any
+	// algorithm runs: LintOff (default), LintWarn (refuse circuits with
+	// Error diagnostics such as zero-delay combinational cycles), or
+	// LintStrict (additionally refuse Warning diagnostics). See Analyze
+	// for the full diagnostic catalogue.
+	Lint LintMode
 }
 
 // Result is the outcome of a simulation.
@@ -301,6 +308,7 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		CentralQueue:  opts.CentralQueue,
 		NoLookahead:   opts.NoLookahead,
 		GateLookahead: opts.GateLookahead,
+		Lint:          opts.Lint,
 	})
 	if rep == nil {
 		return nil, err
@@ -320,3 +328,34 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 // IsUnitDelay reports whether every element has delay 1, the precondition
 // for Compiled to agree with the other algorithms.
 func IsUnitDelay(c *Circuit) bool { return compiled.UnitDelay(c) }
+
+// Static-analysis surface, re-exported from internal/analyze.
+type (
+	// LintMode selects the pre-flight analysis level in Options.Lint.
+	LintMode = engine.LintMode
+	// AnalyzeReport is the structured outcome of Analyze: typed
+	// diagnostics, levelization, and an optional partition-quality
+	// summary.
+	AnalyzeReport = analyze.Report
+	// AnalyzeOptions configures Analyze.
+	AnalyzeOptions = analyze.Options
+	// Diag is one typed diagnostic inside an AnalyzeReport.
+	Diag = analyze.Diag
+)
+
+// Pre-flight lint levels for Options.Lint.
+const (
+	LintOff    = engine.LintOff
+	LintWarn   = engine.LintWarn
+	LintStrict = engine.LintStrict
+)
+
+// Analyze statically checks a circuit: zero-delay combinational cycles
+// (the livelock hazard the asynchronous algorithms cannot survive),
+// floating inputs, drive conflicts, stimulus-free regions, combinational
+// levelization and — when AnalyzeOptions.Workers > 0 — partition quality
+// under the chosen strategy. Simulate enforces the same checks when
+// Options.Lint is LintWarn or LintStrict.
+func Analyze(c *Circuit, opts AnalyzeOptions) *AnalyzeReport {
+	return analyze.Analyze(c, opts)
+}

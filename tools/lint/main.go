@@ -1,0 +1,104 @@
+// Command lint is the repo's custom vet pass: syntactic checks for
+// sync/atomic misuse around the per-worker counter surface that the
+// standard vet suite does not cover. It takes no dependency on
+// golang.org/x/tools; each check is an Analyzer in the go/analysis shape
+// (Name, Doc, Run) over plain go/ast.
+//
+// Usage:
+//
+//	go run ./tools/lint [dir ...]
+//
+// With no arguments it walks the current module from ".". Test files and
+// testdata/vendor directories are skipped. Exit status 1 when any check
+// fires.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		fs, err := collect(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+		files = append(files, fs...)
+	}
+	sort.Strings(files)
+
+	diags, err := run(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Code, d.Msg)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// collect gathers the non-test .go files under root, skipping testdata,
+// vendor and hidden directories. Accepts the conventional "./..."
+// spelling from Makefiles.
+func collect(root string) ([]string, error) {
+	root = strings.TrimSuffix(root, "...")
+	if root == "" {
+		root = "."
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// run parses each file and applies every registered analyzer.
+func run(files []string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			diags = append(diags, a.Run(fset, f)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	})
+	return diags, nil
+}

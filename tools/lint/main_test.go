@@ -1,0 +1,191 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// apply parses src and runs every registered analyzer over it.
+func apply(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(fset, f)...)
+	}
+	return diags
+}
+
+func codes(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func TestLegacyAtomicFlagged(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type W struct{ Evals int64 }
+
+func bump(w *W) { atomic.AddInt64(&w.Evals, 1) }
+`
+	diags := apply(t, src)
+	found := false
+	for _, d := range diags {
+		if d.Code == "legacyatomic" && strings.Contains(d.Msg, "atomic.AddInt64") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("legacy atomic call not flagged: %v", codes(diags))
+	}
+}
+
+func TestRenamedImportStillFlagged(t *testing.T) {
+	src := `package p
+
+import a "sync/atomic"
+
+var x int64
+
+func bump() { a.AddInt64(&x, 1) }
+`
+	diags := apply(t, src)
+	if len(diags) == 0 || diags[0].Code != "legacyatomic" {
+		t.Fatalf("renamed sync/atomic import not tracked: %v", codes(diags))
+	}
+}
+
+func TestTypedAtomicsClean(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type W struct{ evals atomic.Int64 }
+
+func bump(w *W) { w.evals.Add(1) }
+
+func read(w *W) int64 { return w.evals.Load() }
+`
+	if diags := apply(t, src); len(diags) != 0 {
+		t.Fatalf("typed atomics flagged: %+v", diags)
+	}
+}
+
+func TestMixedAccessFlagged(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type W struct{ Evals int64 }
+
+func bump(w *W) {
+	atomic.AddInt64(&w.Evals, 1)
+	w.Evals++
+}
+`
+	diags := apply(t, src)
+	found := false
+	for _, d := range diags {
+		if d.Code == "mixedatomic" && strings.Contains(d.Msg, "w.Evals") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mixed atomic/plain access not flagged: %v", codes(diags))
+	}
+}
+
+func TestMixedAccessSeparateLvaluesClean(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type W struct{ Evals, Steals int64 }
+
+func bump(w *W) {
+	atomic.AddInt64(&w.Evals, 1)
+	w.Steals++ // different field: no mix
+}
+`
+	for _, d := range apply(t, src) {
+		if d.Code == "mixedatomic" {
+			t.Fatalf("distinct lvalues flagged as mixed: %+v", d)
+		}
+	}
+}
+
+func TestCounterCopyFlagged(t *testing.T) {
+	src := `package p
+
+type W struct{ Evals int64 }
+
+type Run struct{ PerWorker []W }
+
+func bump(r *Run) {
+	for _, w := range r.PerWorker {
+		w.Evals++
+	}
+}
+`
+	diags := apply(t, src)
+	if len(diags) != 1 || diags[0].Code != "countercopy" {
+		t.Fatalf("lost range-copy update not flagged: %v", codes(diags))
+	}
+	if !strings.Contains(diags[0].Msg, "w.Evals") {
+		t.Errorf("diagnostic does not name the lvalue: %s", diags[0].Msg)
+	}
+}
+
+func TestCounterCopyIndexedClean(t *testing.T) {
+	src := `package p
+
+type W struct{ Evals int64 }
+
+type Run struct{ PerWorker []W }
+
+func bump(r *Run) {
+	for i := range r.PerWorker {
+		r.PerWorker[i].Evals++
+	}
+	for _, w := range r.PerWorker {
+		_ = w.Evals // reads of the copy are fine
+	}
+}
+`
+	for _, d := range apply(t, src) {
+		if d.Code == "countercopy" {
+			t.Fatalf("indexed/read-only access flagged: %+v", d)
+		}
+	}
+}
+
+// TestRepoIsClean runs the analyzers over the real module — the check
+// `make lint` performs — pinning down that the codebase convention
+// (typed atomics, indexed counter writes) holds everywhere.
+func TestRepoIsClean(t *testing.T) {
+	files, err := collect("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("collect found no files — wrong working directory?")
+	}
+	diags, err := run(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", d.Pos, d.Code, d.Msg)
+	}
+}
