@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check figures clean
+.PHONY: build test race vet lint chaos check figures clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,14 @@ vet:
 lint:
 	$(GO) run ./tools/lint ./...
 
-check: build vet lint test race
+## chaos runs the supervision-layer fault-injection suite under the race
+## detector: induced worker panics, dropped wakeups and genuine stalls on
+## every engine (guard_test.go), plus the guard package's own unit tests.
+chaos:
+	$(GO) test -race -timeout 5m -count=1 -run 'TestGuard' .
+	$(GO) test -race -timeout 5m -count=1 ./internal/guard
+
+check: build vet lint test race chaos
 
 ## figures regenerates the quick machine-readable benchmark snapshot.
 figures:

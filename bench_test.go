@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 )
 
 // workerCounts returns the benchmark sweep: 1, 2, 4, ... up to NumCPU.
@@ -271,6 +272,25 @@ func BenchmarkAblationLookahead(b *testing.B) {
 			GateLookahead: true,
 		})
 	})
+}
+
+// Supervision overhead: the stall watchdog on vs off on the compiled
+// engine — the tightest per-step loop in the repo and therefore the
+// worst case for any added supervision cost. BENCH_guard.json records
+// the measured delta (required < 2%).
+func BenchmarkGuardOverhead(b *testing.B) {
+	c := BenchInverterArray(DefaultInverterArray())
+	for _, v := range []struct {
+		name     string
+		watchdog time.Duration
+	}{{"watchdog-off", 0}, {"watchdog-1s", time.Second}} {
+		b.Run(v.name, func(b *testing.B) {
+			benchSim(b, c, Options{
+				Algorithm: Compiled, Workers: runtime.NumCPU(), Horizon: 128,
+				Watchdog: v.watchdog,
+			})
+		})
+	}
 }
 
 // Ablation: synthetic evaluation cost on vs off — how much of the parallel

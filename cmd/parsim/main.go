@@ -55,6 +55,8 @@ func main() {
 		spin        = flag.Int64("spin", 0, "synthetic work multiplier per evaluation")
 		summary     = flag.Bool("summary", false, "print circuit statistics before simulating")
 		lintFlag    = flag.String("lint", "off", "pre-flight static analysis: off, warn (refuse errors), strict (refuse warnings too)")
+		watchdog    = flag.Duration("watchdog", 0, "abort the run when progress stalls for this long (0 = off)")
+		fallback    = flag.Bool("fallback", false, "retry on the sequential engine if the run panics or stalls")
 	)
 	flag.Parse()
 
@@ -84,6 +86,10 @@ func main() {
 		NoSteal:      *noSteal,
 		CentralQueue: *central,
 		Lint:         lint,
+		Watchdog:     *watchdog,
+	}
+	if *fallback {
+		cfg.Fallback = "sequential"
 	}
 	if eng.Name() == "sequential" {
 		cfg.Workers = 1
@@ -111,10 +117,20 @@ func main() {
 	}
 	rep, err := engine.RunEngine(ctx, eng, c, cfg)
 	if err != nil {
-		if rep == nil || !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		switch {
+		case rep == nil:
+			fatal(err)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			fmt.Printf("run cancelled after %v: %v (partial statistics follow)\n", *timeout, err)
+		case parsim.IsRecoverable(err):
+			fmt.Printf("run aborted by the supervisor: %v (partial statistics follow)\n", err)
+		default:
 			fatal(err)
 		}
-		fmt.Printf("run cancelled after %v: %v (partial statistics follow)\n", *timeout, err)
+	}
+	if rep.Degraded {
+		fmt.Printf("%s engine failed (%v); results below come from the sequential fallback\n",
+			eng.Name(), rep.Fault)
 	}
 	fmt.Println(rep.Run.String())
 

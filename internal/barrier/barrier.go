@@ -11,9 +11,10 @@ import (
 // Barrier synchronises a fixed set of workers. Each worker must carry its
 // own Sense and pass it to every Wait call.
 type Barrier struct {
-	n     int32
-	count atomic.Int32
-	sense atomic.Int32
+	n       int32
+	count   atomic.Int32
+	sense   atomic.Int32
+	aborted atomic.Bool
 }
 
 // Sense is a worker-local barrier phase flag; its zero value is ready for
@@ -28,19 +29,35 @@ func New(n int) *Barrier {
 	return &Barrier{n: int32(n)}
 }
 
-// Wait blocks until all n workers have called Wait with their own Sense.
-// The last worker to arrive releases the rest; waiting workers spin,
-// yielding to the scheduler so oversubscribed configurations make progress.
-func (b *Barrier) Wait(s *Sense) {
+// Wait blocks until all n workers have called Wait with their own Sense,
+// or until the barrier is aborted. It returns true on a normal release
+// and false once aborted; after an abort the barrier is dead and every
+// Wait returns false immediately. The last worker to arrive releases the
+// rest; waiting workers spin, yielding to the scheduler so
+// oversubscribed configurations make progress.
+func (b *Barrier) Wait(s *Sense) bool {
+	if b.aborted.Load() {
+		return false
+	}
 	s.v ^= 1
 	if b.count.Add(1) == b.n {
 		b.count.Store(0)
 		b.sense.Store(s.v)
-		return
+		return !b.aborted.Load()
 	}
 	for i := 0; b.sense.Load() != s.v; i++ {
+		if b.aborted.Load() {
+			return false
+		}
 		if i%64 == 63 {
 			runtime.Gosched()
 		}
 	}
+	return !b.aborted.Load()
 }
+
+// Abort poisons the barrier: every current and future Wait returns false.
+// The supervision layer calls it when a worker in the gang dies or the
+// watchdog declares a stall, so no surviving worker is left spinning for
+// a peer that will never arrive.
+func (b *Barrier) Abort() { b.aborted.Store(true) }

@@ -15,6 +15,7 @@ import (
 	"parsim/internal/barrier"
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -28,6 +29,10 @@ type Options struct {
 	Probe    trace.Probe  // optional observer; must be concurrency-safe
 	CostSpin int64        // if > 0, burn CostSpin x element Cost per evaluation
 	Strategy partition.Strategy
+	// Guard is the optional run supervisor: worker panics are contained,
+	// worker 0 publishes the current step as progress, and a trip aborts
+	// the step barrier so no survivor spins for a dead peer.
+	Guard *guard.Supervisor
 }
 
 // Result is the outcome of a run.
@@ -59,6 +64,7 @@ type sim struct {
 
 	wc     []stats.WorkerCounters
 	cancel *engine.CancelFlag
+	chaos  *guard.ChaosProbe // captured once; nil on production runs
 	// stopAt, when > 0, is the step at which every worker exits. Worker 0
 	// publishes it during step stopAt-1; the step barrier makes the write
 	// visible to all workers before any of them reaches step stopAt, so the
@@ -78,8 +84,8 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 // stop together at the next time step and the partial result is returned
 // with ctx.Err().
 func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
-	if opts.Workers < 1 {
-		panic("compiled: need at least one worker")
+	if err := engine.ValidateWorkers(opts.Workers); err != nil {
+		return nil, err
 	}
 	p := opts.Workers
 	s := &sim{
@@ -90,8 +96,10 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		bar:    barrier.New(p),
 		wc:     make([]stats.WorkerCounters, p),
 		cancel: engine.WatchCancel(ctx),
+		chaos:  opts.Guard.Chaos(),
 	}
 	defer s.cancel.Release()
+	opts.Guard.OnTrip(s.bar.Abort)
 	for side := range s.buf {
 		s.buf[side] = make([]logic.Value, len(c.Nodes))
 	}
@@ -128,6 +136,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer opts.Guard.Recover(w, "compiled step loop")
 			s.worker(w)
 		}(w)
 	}
@@ -180,8 +189,11 @@ func (s *sim) worker(id int) {
 		if sa := s.stopAt.Load(); sa > 0 && t >= circuit.Time(sa) {
 			return
 		}
-		if id == 0 && s.cancel.Cancelled() {
-			s.stopAt.CompareAndSwap(0, int64(t)+1)
+		if id == 0 {
+			s.opts.Guard.Progress(int64(t))
+			if s.cancel.Cancelled() {
+				s.stopAt.CompareAndSwap(0, int64(t)+1)
+			}
 		}
 		cur := s.buf[t&1]
 		next := s.buf[(t+1)&1]
@@ -193,6 +205,9 @@ func (s *sim) worker(id int) {
 		for _, eid := range part {
 			el := &s.c.Elems[eid]
 			s.wc[id].Evals++
+			if s.chaos != nil {
+				s.chaos.Eval()
+			}
 			if cap(inBuf) < len(el.In) {
 				inBuf = make([]logic.Value, len(el.In))
 			}
@@ -215,8 +230,11 @@ func (s *sim) worker(id int) {
 
 		t0 := time.Now()
 		s.wc[id].BarrierWaits++
-		s.bar.Wait(&sense)
+		ok := s.bar.Wait(&sense)
 		idle += time.Since(t0)
+		if !ok {
+			return
+		}
 	}
 }
 

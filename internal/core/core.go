@@ -34,6 +34,7 @@ import (
 
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/spsc"
 	"parsim/internal/stats"
@@ -64,6 +65,11 @@ type Options struct {
 	// every node's valid-time to the fixpoint and the simulation restarts.
 	// Results are identical; Result.Rounds counts the deadlocks broken.
 	DeadlockRecovery bool
+	// Guard is the optional run supervisor: worker panics are contained,
+	// evaluations heartbeat the watchdog, and a run that goes passive
+	// with node valid-times short of the horizon self-reports the stall
+	// instead of silently returning stale X values.
+	Guard *guard.Supervisor
 }
 
 // Result is the outcome of a run.
@@ -136,6 +142,7 @@ type sim struct {
 
 	wc     []stats.WorkerCounters
 	cancel *engine.CancelFlag
+	chaos  *guard.ChaosProbe // captured once; nil on production runs
 }
 
 // Run simulates the circuit with opts.Workers lock-free workers.
@@ -148,8 +155,8 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 // stops at its next queue poll (or between events inside a long element
 // activation) and the partial result is returned with ctx.Err().
 func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
-	if opts.Workers < 1 {
-		panic("core: need at least one worker")
+	if err := engine.ValidateWorkers(opts.Workers); err != nil {
+		return nil, err
 	}
 	p := opts.Workers
 	s := &sim{
@@ -164,6 +171,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		queues:  make([][]*spsc.Queue[circuit.ElemID], p),
 		wc:      make([]stats.WorkerCounters, p),
 		cancel:  engine.WatchCancel(ctx),
+		chaos:   opts.Guard.Chaos(),
 	}
 	defer s.cancel.Release()
 	for i := range c.Nodes {
@@ -239,6 +247,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				defer opts.Guard.Recover(w, "asynchronous eval loop")
 				newWorker(s, w).run()
 			}(w)
 		}
@@ -264,7 +273,58 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		Workers:   p,
 	}
 	res.Run.Aggregate(wall, s.wc)
-	return res, s.cancel.Err(ctx)
+	if err := s.cancel.Err(ctx); err != nil {
+		return res, err
+	}
+	// The run terminated on its own: every node's behaviour must have
+	// reached the horizon, or the workers went passive around a stall.
+	alg := "asynchronous"
+	if opts.DeadlockRecovery {
+		alg = "chandy-misra"
+	}
+	if st := s.stallReport(alg); st != nil {
+		return res, st
+	}
+	return res, nil
+}
+
+// stallReport scans node valid-times after the workers have gone passive.
+// A run that terminated without cancellation has no pending activations,
+// so any node whose valid-time is short of the horizon is genuinely stuck
+// — the conservative silent stall-at-X the static analyzer predicts for
+// zero-delay cycles — and the historical behaviour of running to the end
+// with stale X values becomes a typed error naming the stuck nodes.
+func (s *sim) stallReport(alg string) *guard.StallError {
+	if s.opts.Horizon <= 0 {
+		return nil
+	}
+	horizon := int64(s.opts.Horizon)
+	minValid := horizon
+	var stuck []string
+	truncated := 0
+	for i := range s.hist {
+		vt := s.hist[i].validTo.Load()
+		if vt >= horizon {
+			continue
+		}
+		if vt < minValid {
+			minValid = vt
+		}
+		if len(stuck) < 8 {
+			stuck = append(stuck, s.c.Nodes[i].Name)
+		} else {
+			truncated++
+		}
+	}
+	if len(stuck) == 0 {
+		return nil
+	}
+	return &guard.StallError{
+		Engine:       alg,
+		LastProgress: minValid,
+		StuckNodes:   stuck,
+		Truncated:    truncated,
+	}
 }
 
 // appendEvent publishes one value change on node n at time t. Caller must
@@ -351,6 +411,12 @@ func (w *worker) activate(e circuit.ElemID) {
 				s.pending.Add(1)
 				tgt := w.rr % s.p
 				w.rr++
+				if s.chaos != nil && s.chaos.DropWakeup() {
+					// Injected lost wakeup: the element stays claimed but is
+					// never delivered, so pending never drains and the run
+					// hangs — the failure the watchdog exists to catch.
+					return
+				}
 				s.queues[tgt][w.id].Push(e)
 				return
 			}
@@ -404,6 +470,10 @@ func (w *worker) evalElement(e circuit.ElemID) {
 	s := w.s
 	el := &s.c.Elems[e]
 	s.wc[w.id].Evals++
+	s.opts.Guard.Heartbeat(w.id)
+	if s.chaos != nil {
+		s.chaos.Eval()
+	}
 	cs := s.cursors[e]
 
 	// Step 1-2: min-valid across inputs; load published counts once so the

@@ -27,7 +27,11 @@ func (e eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*e
 		NoLookahead:      cfg.NoLookahead,
 		GateLookahead:    cfg.GateLookahead,
 		DeadlockRecovery: e.deadlockRecovery,
+		Guard:            cfg.Guard,
 	})
+	if res == nil {
+		return nil, err
+	}
 	rep := &engine.Report{Run: res.Run, Final: res.Final}
 	if e.deadlockRecovery {
 		rep.Rounds = res.Rounds

@@ -23,6 +23,7 @@ import (
 
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -36,6 +37,11 @@ type Options struct {
 	Probe    trace.Probe  // optional observer; must be concurrency-safe
 	CostSpin int64        // if > 0, burn CostSpin x element Cost per evaluation
 	Strategy partition.Strategy
+	// Guard is the optional run supervisor: worker panics are contained,
+	// evaluations heartbeat the watchdog, and a run that terminates with
+	// owned-node valid-times short of the horizon self-reports the stall
+	// instead of silently returning stale X values.
+	Guard *guard.Supervisor
 }
 
 // Result is the outcome of a run.
@@ -90,8 +96,8 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 // returned with ctx.Err(). In-flight messages are abandoned; termination
 // detection is bypassed.
 func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
-	if opts.Workers < 1 {
-		panic("dist: need at least one worker")
+	if err := engine.ValidateWorkers(opts.Workers); err != nil {
+		return nil, err
 	}
 	p := opts.Workers
 	cancel := engine.WatchCancel(ctx)
@@ -170,6 +176,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			defer opts.Guard.Recover(w.id, "distributed eval loop")
 			w.run()
 		}(w)
 	}
@@ -197,5 +204,48 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		res.Messages += workers[w].wc.Messages
 	}
 	res.Run.Aggregate(wall, per)
-	return res, cancel.Err(ctx)
+	if err := cancel.Err(ctx); err != nil {
+		return res, err
+	}
+	// Workers also watch ctx.Done directly, so they can exit before the
+	// flag's watcher goroutine observes the cancellation; consult the
+	// context itself so a cut-short run is never mistaken for a stall.
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	// Termination was declared (every worker passive, no mail in flight),
+	// so authoritative valid-times short of the horizon mean the run
+	// stalled rather than completed: self-report with the stuck nodes,
+	// as core does, instead of silently returning stale X values. The
+	// owner replicas are plain fields, safe to read after wg.Wait.
+	if opts.Horizon > 0 {
+		horizon := int64(opts.Horizon)
+		minValid := horizon
+		var stuck []string
+		truncated := 0
+		for i := range c.Nodes {
+			owner := workers[elemOwner[c.Nodes[i].Driver]]
+			r, ok := owner.replicas[circuit.NodeID(i)]
+			if !ok || int64(r.validTo) >= horizon {
+				continue
+			}
+			if int64(r.validTo) < minValid {
+				minValid = int64(r.validTo)
+			}
+			if len(stuck) < 8 {
+				stuck = append(stuck, c.Nodes[i].Name)
+			} else {
+				truncated++
+			}
+		}
+		if len(stuck) > 0 {
+			return res, &guard.StallError{
+				Engine:       "distributed-async",
+				LastProgress: minValid,
+				StuckNodes:   stuck,
+				Truncated:    truncated,
+			}
+		}
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"testing"
 
 	"parsim/internal/circuit"
@@ -123,13 +124,14 @@ func TestPartitionStrategies(t *testing.T) {
 	}
 }
 
-func TestBadWorkerCountPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Workers=0 did not panic")
-		}
-	}()
-	Run(gen.FeedbackChain(3), Options{Workers: 0, Horizon: 10})
+func TestBadWorkerCountError(t *testing.T) {
+	res, err := RunContext(context.Background(), gen.FeedbackChain(3), Options{Workers: 0, Horizon: 10})
+	if err == nil {
+		t.Fatal("Workers=0 did not return an error")
+	}
+	if res != nil {
+		t.Fatal("bad config must not produce a result")
+	}
 }
 
 func TestZeroHorizon(t *testing.T) {

@@ -20,7 +20,11 @@ func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*eng
 		Probe:    cfg.Probe,
 		CostSpin: cfg.CostSpin,
 		Strategy: cfg.Strategy,
+		Guard:    cfg.Guard,
 	})
+	if res == nil {
+		return nil, err
+	}
 	return &engine.Report{Run: res.Run, Final: res.Final}, err
 }
 

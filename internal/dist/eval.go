@@ -21,6 +21,10 @@ func peek(r *replica, cu *cursor) (event, bool) {
 func (w *worker) evalElement(e circuit.ElemID) {
 	el := &w.c.Elems[e]
 	w.wc.Evals++
+	w.opts.Guard.Heartbeat(w.id)
+	if w.chaos != nil {
+		w.chaos.Eval()
+	}
 	cs := w.cursors[e]
 
 	minValid := int64(w.opts.Horizon)

@@ -6,6 +6,7 @@ import (
 
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/stats"
 )
@@ -30,6 +31,7 @@ type worker struct {
 	done    chan struct{}
 	cancel  *engine.CancelFlag
 	ctxDone <-chan struct{}
+	chaos   *guard.ChaosProbe // captured once; nil on production runs
 
 	subscribers map[circuit.NodeID][]int
 
@@ -76,6 +78,7 @@ func newWorker(c *circuit.Circuit, opts Options, id, p int,
 		state:       make(map[circuit.ElemID][]logic.Value),
 		inQueue:     make([]bool, len(c.Elems)),
 		staged:      make(map[circuit.NodeID][]event),
+		chaos:       opts.Guard.Chaos(),
 	}
 	for _, e := range elems {
 		el := &c.Elems[e]
@@ -142,6 +145,12 @@ func (w *worker) advanceValidTo(n circuit.NodeID, t circuit.Time) bool {
 // activateLocal queues an owned element.
 func (w *worker) activateLocal(e circuit.ElemID) {
 	if w.elemOwner[e] != w.id || w.inQueue[e] {
+		return
+	}
+	if w.chaos != nil && w.chaos.DropWakeup() {
+		// Injected lost wakeup: the element is never queued, the workers
+		// go passive, Safra's ring declares termination, and the run's
+		// completion check self-reports the stall.
 		return
 	}
 	w.inQueue[e] = true

@@ -15,14 +15,17 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parsim/internal/analyze"
 	"parsim/internal/circuit"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -92,6 +95,24 @@ type Config struct {
 	// shared validation path before any engine runs (see LintMode).
 	Lint LintMode
 
+	// Watchdog enables the runtime stall watchdog: a run whose progress
+	// metric stays flat for this long is aborted with guard.ErrStalled
+	// plus a per-worker diagnostic dump. 0 disables the watchdog.
+	Watchdog time.Duration
+	// Fallback names the engine a run is transparently retried on when
+	// the original engine faults or stalls (typically "sequential"). The
+	// retried Report carries Degraded=true and the original error in
+	// Fault. Empty disables the fallback policy.
+	Fallback string
+	// Guard is the per-run supervisor, installed by RunEngine. Engines
+	// read it to publish progress and contain worker panics; callers
+	// leave it nil.
+	Guard *guard.Supervisor
+	// Chaos injects faults (panics, delays, dropped wakeups) into the
+	// engine it names, for supervision tests. Production runs leave it
+	// nil; the fallback run never sees it.
+	Chaos *guard.ChaosProbe
+
 	// Ablation flags, honoured by the engine they name.
 	NoSteal       bool // event-driven: disable end-of-phase work stealing
 	CentralQueue  bool // event-driven: the paper's contended single-queue design
@@ -113,6 +134,11 @@ type Report struct {
 	Rounds int64
 	// GVTRounds counts time-warp synchronisation rounds.
 	GVTRounds int64
+	// Degraded marks a result produced by the Config.Fallback engine
+	// after the requested engine faulted or stalled; Fault holds the
+	// original engine's error.
+	Degraded bool
+	Fault    error
 }
 
 // Engine is one simulation algorithm. Run simulates c over [0,
@@ -182,8 +208,22 @@ func Run(ctx context.Context, name string, c *circuit.Circuit, cfg Config) (*Rep
 	return RunEngine(ctx, e, c, cfg)
 }
 
+// ValidateWorkers is the single worker-count check shared by RunEngine
+// and the engine packages' direct entry points, replacing the historical
+// per-engine "need at least one worker" panics: bad configuration is an
+// error, never a crash.
+func ValidateWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("parsim: invalid worker count %d: Workers must be positive (or 0 for the default of 1)", n)
+	}
+	return nil
+}
+
 // RunEngine validates cfg (the one place worker counts and horizons are
-// checked) and invokes e.
+// checked) and invokes e under the supervision layer: worker panics come
+// back as *guard.WorkerFault, flat-lined runs as guard.ErrStalled when a
+// Watchdog window is set, and either outcome is transparently retried on
+// the Config.Fallback engine when one is named.
 func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*Report, error) {
 	if c == nil {
 		return nil, fmt.Errorf("parsim: nil circuit")
@@ -194,11 +234,18 @@ func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("parsim: invalid worker count %d: Workers must be positive (or 0 for the default of 1)", cfg.Workers)
+	if err := ValidateWorkers(cfg.Workers); err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var fb Engine
+	if cfg.Fallback != "" {
+		var err error
+		if fb, err = Get(cfg.Fallback); err != nil {
+			return nil, fmt.Errorf("parsim: invalid fallback engine: %w", err)
+		}
 	}
 	if cfg.Lint != LintOff {
 		rep := analyze.Analyze(c, analyze.Options{})
@@ -206,6 +253,69 @@ func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*
 			return nil, fmt.Errorf("parsim: lint (%s) rejected circuit %q: %w", cfg.Lint, c.Name, err)
 		}
 	}
+	rep, err := runGuarded(ctx, e, c, cfg)
+	if err == nil || fb == nil || fb.Name() == e.Name() || !guard.Recoverable(err) {
+		return rep, err
+	}
+	// Fallback policy: the requested engine faulted or stalled; re-run on
+	// the reference engine with supervision (minus chaos — an injected
+	// fault must not follow the run) and report the degraded outcome.
+	fbCfg := cfg
+	fbCfg.Fallback = ""
+	fbCfg.Chaos = nil
+	fbCfg.Lint = LintOff // the circuit was already linted above
+	if fb.Name() == "sequential" {
+		fbCfg.Workers = 1
+	}
+	fbRep, fbErr := runGuarded(ctx, fb, c, fbCfg)
+	if fbErr != nil {
+		// The fallback failed too; the original failure is the one that
+		// explains the run, so report it.
+		return rep, err
+	}
+	fbRep.Degraded = true
+	fbRep.Fault = err
+	return fbRep, nil
+}
+
+// runGuarded executes one engine run under a fresh supervisor: it derives
+// the cancellable run context, contains main-goroutine panics, folds the
+// supervision outcome into the returned error, and attaches the
+// per-worker diagnostic dump to stall reports once the workers have
+// exited (reading their counters is only race-free then).
+func runGuarded(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*Report, error) {
+	sup := guard.New(e.Name(), guard.Options{
+		Workers: cfg.Workers,
+		Window:  cfg.Watchdog,
+		Chaos:   cfg.Chaos,
+	})
+	cfg.Guard = sup
+	runCtx := sup.Attach(ctx)
+	rep, err := runContained(runCtx, e, c, cfg, sup)
+	sup.Stop()
+	if gerr := sup.Err(); gerr != nil && ctx.Err() == nil {
+		// The supervisor tripped and the caller did not cancel: the
+		// engine's own error is just the induced cancellation, so the
+		// typed supervision error is the real outcome.
+		err = gerr
+	}
+	var st *guard.StallError
+	if errors.As(err, &st) && st.Dump == "" && rep != nil {
+		st.Dump = rep.Run.DebugDump()
+	}
+	return rep, err
+}
+
+// runContained invokes e.Run with the engine's main goroutine under the
+// same containment as its workers: a panic there (the sequential engine
+// runs entirely on this goroutine) becomes a WorkerFault with worker -1.
+func runContained(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config, sup *guard.Supervisor) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sup.Capture(-1, "engine main goroutine", r)
+			rep, err = nil, sup.Err()
+		}
+	}()
 	return e.Run(ctx, c, cfg)
 }
 

@@ -1,0 +1,82 @@
+package guard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosPanic is the value thrown by an armed probe, so tests can tell an
+// injected fault apart from a genuine engine bug.
+type ChaosPanic struct {
+	Engine string
+	Eval   int64 // global evaluation count at which the probe fired
+}
+
+func (p *ChaosPanic) String() string {
+	eng := p.Engine
+	if eng == "" {
+		eng = "any engine"
+	}
+	return fmt.Sprintf("chaos: injected panic in %s at evaluation %d", eng, p.Eval)
+}
+
+// ChaosProbe injects faults into engine hot loops: panics at the Nth
+// evaluation, per-evaluation delays, and dropped wakeups. It exists so
+// tests can prove the supervisor contains each failure class under the
+// race detector; production runs never carry a probe.
+//
+// Engine scopes the probe to one registry name: guard.New discards a
+// probe whose Engine does not match the running engine, which keeps a
+// sequential fallback run fault-free. An empty Engine matches every
+// engine.
+type ChaosProbe struct {
+	Engine      string        // registry name this probe arms for ("" = all)
+	PanicAtEval int64         // panic at the Nth Eval call (0 = never)
+	DelayEvery  int64         // sleep Delay every Nth Eval call (0 = never)
+	Delay       time.Duration // sleep applied by DelayEvery
+	DropWakeups int64         // number of wakeups to swallow (0 = none)
+
+	evals atomic.Int64
+	drops atomic.Int64
+}
+
+// Matches reports whether the probe arms for the named engine.
+func (p *ChaosProbe) Matches(engineName string) bool {
+	return p.Engine == "" || p.Engine == engineName
+}
+
+// Eval is called from engine evaluation loops. It counts evaluations
+// across all workers, sleeps on the configured cadence, and panics once
+// the count reaches PanicAtEval.
+func (p *ChaosProbe) Eval() {
+	n := p.evals.Add(1)
+	if p.DelayEvery > 0 && n%p.DelayEvery == 0 {
+		time.Sleep(p.Delay)
+	}
+	if p.PanicAtEval > 0 && n == p.PanicAtEval {
+		panic(&ChaosPanic{Engine: p.Engine, Eval: n})
+	}
+}
+
+// DropWakeup reports whether the engine should swallow this wakeup
+// (activation / scheduling message) instead of delivering it. The first
+// DropWakeups calls return true; after that the probe is spent.
+func (p *ChaosProbe) DropWakeup() bool {
+	if p.DropWakeups <= 0 {
+		return false
+	}
+	return p.drops.Add(1) <= p.DropWakeups
+}
+
+// Evals returns how many evaluations the probe has observed.
+func (p *ChaosProbe) Evals() int64 { return p.evals.Load() }
+
+// Dropped returns how many wakeups the probe has swallowed.
+func (p *ChaosProbe) Dropped() int64 {
+	n := p.drops.Load()
+	if n > p.DropWakeups {
+		n = p.DropWakeups
+	}
+	return n
+}

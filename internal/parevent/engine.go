@@ -28,7 +28,11 @@ func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*eng
 		CostSpin:     cfg.CostSpin,
 		CollectAvail: cfg.CollectAvail,
 		Mode:         mode,
+		Guard:        cfg.Guard,
 	})
+	if res == nil {
+		return nil, err
+	}
 	return &engine.Report{Run: res.Run, Final: res.Final}, err
 }
 

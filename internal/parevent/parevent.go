@@ -26,6 +26,7 @@ import (
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
 	"parsim/internal/eventq"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/stats"
 	"parsim/internal/trace"
@@ -67,6 +68,10 @@ type Options struct {
 	CostSpin     int64        // if > 0, burn CostSpin x element Cost per evaluation
 	CollectAvail bool         // record activated-elements-per-step histogram
 	Mode         Mode
+	// Guard is the optional run supervisor: worker panics are contained,
+	// worker 0 publishes the current step as progress, and a trip aborts
+	// the phase barrier so no survivor spins for a dead peer.
+	Guard *guard.Supervisor
 }
 
 // Result is the outcome of a run.
@@ -117,7 +122,8 @@ type sim struct {
 	wc      []stats.WorkerCounters // per-worker counters
 	avail   stats.Histogram
 	cancel  *engine.CancelFlag
-	stopped atomic.Bool // cancellation agreed; all workers exit in phase B
+	chaos   *guard.ChaosProbe // captured once; nil on production runs
+	stopped atomic.Bool       // cancellation agreed; all workers exit in phase B
 }
 
 // Run simulates the circuit with opts.Workers parallel workers.
@@ -132,8 +138,8 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 // phase barrier, so no worker is left waiting) and the partial result is
 // returned with ctx.Err().
 func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
-	if opts.Workers < 1 {
-		panic("parevent: need at least one worker")
+	if err := engine.ValidateWorkers(opts.Workers); err != nil {
+		return nil, err
 	}
 	p := opts.Workers
 	s := &sim{
@@ -152,8 +158,10 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		wc:        make([]stats.WorkerCounters, p),
 		centralQ:  eventq.New(),
 		cancel:    engine.WatchCancel(ctx),
+		chaos:     opts.Guard.Chaos(),
 	}
 	defer s.cancel.Release()
+	opts.Guard.OnTrip(s.bar.Abort)
 	for i := range c.Nodes {
 		s.val[i] = logic.AllX(c.Nodes[i].Width)
 		s.projected[i] = s.val[i]
@@ -179,6 +187,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer opts.Guard.Recover(w, "event-driven phase loop")
 			newWorker(s, w).run()
 		}(w)
 	}
@@ -235,12 +244,15 @@ func newWorker(s *sim, id int) *worker {
 	return w
 }
 
-// wait passes the barrier, accounting blocked time as idle.
-func (w *worker) wait() {
+// wait passes the barrier, accounting blocked time as idle. It returns
+// false when the barrier was aborted by the supervisor (a peer died or
+// the watchdog tripped); the caller must exit its loop.
+func (w *worker) wait() bool {
 	t0 := time.Now()
-	w.s.bar.Wait(&w.sense)
+	ok := w.s.bar.Wait(&w.sense)
 	w.s.wc[w.id].BarrierWaits++
 	w.idle += time.Since(t0)
+	return ok
 }
 
 func (w *worker) run() {
@@ -268,7 +280,9 @@ func (w *worker) run() {
 			}
 			s.peek[w.id] = w.localPeek()
 		}
-		w.wait()
+		if !w.wait() {
+			return
+		}
 
 		// Phase B: agree on the global time, apply node updates, claim and
 		// distribute activated elements.
@@ -290,13 +304,18 @@ func (w *worker) run() {
 		}
 		if w.id == 0 {
 			s.stepN.Add(1)
+			s.opts.Guard.Progress(int64(t))
 		}
 		if s.opts.Mode == Central {
-			w.centralUpdatePhase(t)
+			if !w.centralUpdatePhase(t) {
+				return
+			}
 		} else {
 			w.updatePhase(t)
 		}
-		w.wait()
+		if !w.wait() {
+			return
+		}
 
 		if s.opts.CollectAvail && w.id == 0 {
 			n := 0
@@ -318,7 +337,9 @@ func (w *worker) run() {
 		} else {
 			w.evalPhase(t)
 		}
-		w.wait()
+		if !w.wait() {
+			return
+		}
 	}
 }
 
@@ -427,6 +448,9 @@ func (w *worker) evaluate(t circuit.Time, id circuit.ElemID) {
 	el := &s.c.Elems[id]
 	s.claimed[id].Store(false)
 	s.wc[w.id].Evals++
+	if s.chaos != nil {
+		s.chaos.Eval()
+	}
 	if cap(w.inBuf) < len(el.In) {
 		w.inBuf = make([]logic.Value, len(el.In))
 	}
@@ -479,7 +503,9 @@ func (w *worker) centralPeek() int64 {
 	return next
 }
 
-func (w *worker) centralUpdatePhase(t circuit.Time) {
+// centralUpdatePhase stages and applies the step's update bucket. It
+// returns false when its staging barrier was aborted mid-phase.
+func (w *worker) centralUpdatePhase(t circuit.Time) bool {
 	s := w.s
 	if w.id == 0 {
 		// Generator changes and this step's update bucket are staged by
@@ -506,12 +532,14 @@ func (w *worker) centralUpdatePhase(t circuit.Time) {
 			s.centralUps = append(s.centralUps, ups...)
 		}
 	}
-	w.wait() // staging barrier: everyone sees the bucket
+	if !w.wait() { // staging barrier: everyone sees the bucket
+		return false
+	}
 	for {
 		s.centralMu.Lock()
 		if s.centralUpCur >= len(s.centralUps) {
 			s.centralMu.Unlock()
-			return
+			return true
 		}
 		u := s.centralUps[s.centralUpCur]
 		s.centralUpCur++

@@ -1,6 +1,7 @@
 package parevent
 
 import (
+	"context"
 	"testing"
 
 	"parsim/internal/circuit"
@@ -118,14 +119,15 @@ func TestUtilizationBounded(t *testing.T) {
 	}
 }
 
-func TestBadWorkerCountPanics(t *testing.T) {
+func TestBadWorkerCountError(t *testing.T) {
 	c := gen.FeedbackChain(3)
-	defer func() {
-		if recover() == nil {
-			t.Error("Workers=0 did not panic")
-		}
-	}()
-	Run(c, Options{Workers: 0, Horizon: 10})
+	res, err := RunContext(context.Background(), c, Options{Workers: 0, Horizon: 10})
+	if err == nil {
+		t.Fatal("Workers=0 did not return an error")
+	}
+	if res != nil {
+		t.Fatal("bad config must not produce a result")
+	}
 }
 
 func TestDeterministicHistories(t *testing.T) {

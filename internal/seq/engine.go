@@ -22,6 +22,7 @@ func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*eng
 		Probe:        cfg.Probe,
 		CostSpin:     cfg.CostSpin,
 		CollectAvail: cfg.CollectAvail,
+		Guard:        cfg.Guard,
 	})
 	return &engine.Report{Run: res.Run, Final: res.Final}, err
 }

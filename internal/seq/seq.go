@@ -19,6 +19,7 @@ import (
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
 	"parsim/internal/eventq"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/stats"
 	"parsim/internal/trace"
@@ -38,6 +39,10 @@ type Options struct {
 	// Collect records per-step activity and the evaluation-causality DAG
 	// used by the machine package's virtual-multiprocessor models.
 	Collect bool
+	// Guard is the optional run supervisor (progress publication and
+	// chaos injection); panic containment for this single-goroutine
+	// simulator lives in the engine layer.
+	Guard *guard.Supervisor
 }
 
 // Result is the outcome of a run.
@@ -94,6 +99,8 @@ type sim struct {
 
 	inBuf, outBuf []logic.Value
 
+	chaos *guard.ChaosProbe // captured once; nil on production runs
+
 	co *collector // non-nil when Options.Collect
 }
 
@@ -125,6 +132,7 @@ func newSim(c *circuit.Circuit, opts Options) *sim {
 	s.genIDs = c.Generators()
 	s.genNext = make([]circuit.Time, len(s.genIDs))
 	s.inList = make([]bool, len(c.Elems))
+	s.chaos = opts.Guard.Chaos()
 	if opts.Collect {
 		s.co = newCollector(c)
 	}
@@ -155,6 +163,7 @@ func (s *sim) run(cancel *engine.CancelFlag) {
 		if t < 0 || t >= s.opts.Horizon {
 			return
 		}
+		s.opts.Guard.Progress(int64(t))
 		s.step(t)
 	}
 }
@@ -225,6 +234,9 @@ func (s *sim) applyUpdate(n circuit.NodeID, t circuit.Time, v logic.Value) {
 func (s *sim) evaluate(t circuit.Time, id circuit.ElemID) {
 	el := &s.c.Elems[id]
 	s.wc.Evals++
+	if s.chaos != nil {
+		s.chaos.Eval()
+	}
 	task := int32(-1)
 	if s.co != nil {
 		task = s.co.onEval(id, t)

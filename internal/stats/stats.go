@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"parsim/internal/circuit"
@@ -115,6 +116,25 @@ func (r *Run) String() string {
 	return fmt.Sprintf("%s on %s: P=%d steps=%d updates=%d evals=%d wall=%v util=%.0f%%",
 		r.Algorithm, r.Circuit, r.Workers, r.TimeSteps, r.NodeUpdates, r.Evals,
 		r.Wall.Round(time.Microsecond), 100*r.Utilization())
+}
+
+// DebugDump renders the per-worker counter rows as an aligned table for
+// stall and fault diagnostics: when the supervision layer aborts a run it
+// attaches this dump so the report shows where each worker got stuck
+// (e.g. every row idle-polling, or one row's counters frozen).
+func (r *Run) DebugDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-worker counters at abort (%s on %s, P=%d):\n",
+		r.Algorithm, r.Circuit, r.Workers)
+	fmt.Fprintf(&b, "  %6s %10s %10s %10s %10s %10s %10s %10s\n",
+		"worker", "evals", "updates", "events", "barriers", "idlepolls", "msgs", "rollbacks")
+	for i := range r.PerWorker {
+		w := &r.PerWorker[i]
+		fmt.Fprintf(&b, "  %6d %10d %10d %10d %10d %10d %10d %10d\n",
+			i, w.Evals, w.NodeUpdates, w.EventsUsed, w.BarrierWaits,
+			w.IdlePolls, w.Messages, w.Rollbacks)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Histogram counts integer observations (e.g. activated elements per time

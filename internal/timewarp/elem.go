@@ -279,6 +279,9 @@ func (rt *elemRT) process(s *sim, w int, wk *twWorker) bool {
 	out := wk.outBuf[:len(rt.el.Out)]
 	rt.el.Eval(in, rt.state, out)
 	s.wc[w].Evals++
+	if s.chaos != nil {
+		s.chaos.Eval()
+	}
 	if s.opts.CostSpin > 0 {
 		circuit.Spin(rt.el.Cost * s.opts.CostSpin)
 	}

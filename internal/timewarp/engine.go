@@ -21,7 +21,11 @@ func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*eng
 		CostSpin:      cfg.CostSpin,
 		Strategy:      cfg.Strategy,
 		StepsPerRound: cfg.StepsPerRound,
+		Guard:         cfg.Guard,
 	})
+	if res == nil {
+		return nil, err
+	}
 	return &engine.Report{
 		Run:       res.Run,
 		Final:     res.Final,

@@ -26,6 +26,7 @@ import (
 	"parsim/internal/barrier"
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -42,6 +43,11 @@ type Options struct {
 	// StepsPerRound caps optimistic progress between GVT rounds
 	// (default 2048 element steps per worker).
 	StepsPerRound int
+	// Guard is the optional run supervisor: worker panics are contained,
+	// worker 0 publishes the GVT as progress (a pinned GVT — the paper's
+	// livelock — therefore stalls out), and a trip aborts the round
+	// barrier so no survivor spins for a dead peer.
+	Guard *guard.Supervisor
 }
 
 // Result is the outcome of a run.
@@ -80,6 +86,7 @@ type sim struct {
 	done      bool
 	roundsRun int64
 	cancel    *engine.CancelFlag
+	chaos     *guard.ChaosProbe // captured once; nil on production runs
 
 	probe trace.Probe
 	final []logic.Value
@@ -99,8 +106,8 @@ func Run(c *circuit.Circuit, opts Options) *Result {
 // behind the GVT and exit together at the end of the round; the partial
 // result is returned with ctx.Err().
 func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
-	if opts.Workers < 1 {
-		panic("timewarp: need at least one worker")
+	if err := engine.ValidateWorkers(opts.Workers); err != nil {
+		return nil, err
 	}
 	if opts.StepsPerRound <= 0 {
 		opts.StepsPerRound = 2048
@@ -121,8 +128,10 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		wc:        make([]stats.WorkerCounters, p),
 		peakLog:   make([]int64, p),
 		cancel:    engine.WatchCancel(ctx),
+		chaos:     opts.Guard.Chaos(),
 	}
 	defer s.cancel.Release()
+	opts.Guard.OnTrip(s.bar.Abort)
 	s.wks = make([]*twWorker, p)
 	for w := range s.mailbox {
 		s.mailbox[w] = make([][]twEvent, p)
@@ -181,6 +190,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer opts.Guard.Recover(w, "time-warp round loop")
 			s.worker(w)
 		}(w)
 	}

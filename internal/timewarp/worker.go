@@ -118,8 +118,11 @@ func (s *sim) worker(w int) {
 		}
 		t0 := time.Now()
 		s.wc[w].BarrierWaits++
-		s.bar.Wait(&sense)
+		ok := s.bar.Wait(&sense)
 		idle += time.Since(t0)
+		if !ok {
+			return
+		}
 
 		// Phase B: flush staged mail, then process optimistically, lowest
 		// timestamp first. Every mailbox owner is busy in its own phase B,
@@ -151,8 +154,11 @@ func (s *sim) worker(w int) {
 
 		t0 = time.Now()
 		s.wc[w].BarrierWaits++
-		s.bar.Wait(&sense)
+		ok = s.bar.Wait(&sense)
 		idle += time.Since(t0)
+		if !ok {
+			return
+		}
 
 		// Phase C: GVT. Cancellation rides the existing round protocol:
 		// worker 0 observes the flag here and declares the run done, every
@@ -161,14 +167,20 @@ func (s *sim) worker(w int) {
 		if w == 0 {
 			s.computeGVT()
 			s.roundsRun++
+			// Publishing the GVT makes livelock observable: rounds that
+			// spin without advancing it never reset the watchdog.
+			s.opts.Guard.Progress(int64(s.gvt))
 			if s.cancel.Cancelled() {
 				s.done = true
 			}
 		}
 		t0 = time.Now()
 		s.wc[w].BarrierWaits++
-		s.bar.Wait(&sense)
+		ok = s.bar.Wait(&sense)
 		idle += time.Since(t0)
+		if !ok {
+			return
+		}
 
 		// Phase D: account saved state, then commit behind the GVT.
 		var savedNow int64
@@ -190,8 +202,11 @@ func (s *sim) worker(w int) {
 		}
 		t0 = time.Now()
 		s.wc[w].BarrierWaits++
-		s.bar.Wait(&sense)
+		ok = s.bar.Wait(&sense)
 		idle += time.Since(t0)
+		if !ok {
+			return
+		}
 	}
 }
 

@@ -44,11 +44,13 @@ package parsim
 
 import (
 	"context"
+	"time"
 
 	"parsim/internal/analyze"
 	"parsim/internal/circuit"
 	"parsim/internal/compiled"
 	"parsim/internal/engine"
+	"parsim/internal/guard"
 	"parsim/internal/logic"
 	"parsim/internal/partition"
 	"parsim/internal/stats"
@@ -262,6 +264,18 @@ type Options struct {
 	// LintStrict (additionally refuse Warning diagnostics). See Analyze
 	// for the full diagnostic catalogue.
 	Lint LintMode
+	// Watchdog enables the runtime stall watchdog: a run whose progress
+	// stays flat for this long is aborted with ErrStalled and a
+	// per-worker diagnostic dump instead of hanging. 0 disables it.
+	Watchdog time.Duration
+	// Fallback transparently retries a run on the Sequential reference
+	// engine when the selected algorithm panics or stalls. The retried
+	// Result carries Degraded=true and the original error in Fault.
+	Fallback bool
+	// Chaos injects faults (induced panics, delays, dropped wakeups)
+	// into the run, for testing the supervision layer. Leave nil in
+	// production.
+	Chaos *ChaosProbe
 }
 
 // Result is the outcome of a simulation.
@@ -279,6 +293,11 @@ type Result struct {
 	PeakLog   int64
 	// Rounds counts Chandy-Misra deadlock recoveries (ChandyMisra only).
 	Rounds int64
+	// Degraded marks a result produced by the sequential fallback after
+	// the requested algorithm faulted or stalled (Options.Fallback);
+	// Fault holds the original algorithm's error.
+	Degraded bool
+	Fault    error
 }
 
 // Simulate runs the selected algorithm over [0, Horizon). All algorithms
@@ -298,6 +317,10 @@ func Simulate(c *Circuit, opts Options) (*Result, error) {
 // String) is the registry key, so this function, the CLIs, the figure
 // harness and the benchmarks all resolve algorithms through one table.
 func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	fallback := ""
+	if opts.Fallback {
+		fallback = Sequential.String()
+	}
 	rep, err := engine.Run(ctx, opts.Algorithm.String(), c, engine.Config{
 		Workers:       opts.Workers,
 		Horizon:       opts.Horizon,
@@ -309,6 +332,9 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		NoLookahead:   opts.NoLookahead,
 		GateLookahead: opts.GateLookahead,
 		Lint:          opts.Lint,
+		Watchdog:      opts.Watchdog,
+		Fallback:      fallback,
+		Chaos:         opts.Chaos,
 	})
 	if rep == nil {
 		return nil, err
@@ -322,12 +348,38 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		Cancelled: tot.Cancelled,
 		PeakLog:   rep.PeakLog,
 		Rounds:    rep.Rounds,
+		Degraded:  rep.Degraded,
+		Fault:     rep.Fault,
 	}, err
 }
 
 // IsUnitDelay reports whether every element has delay 1, the precondition
 // for Compiled to agree with the other algorithms.
 func IsUnitDelay(c *Circuit) bool { return compiled.UnitDelay(c) }
+
+// Runtime-supervision surface, re-exported from internal/guard. A run
+// supervised with Options.Watchdog ends in a *StallError (matching
+// ErrStalled via errors.Is) when its progress flattens; a worker panic
+// surfaces as a *WorkerFault instead of crashing the process.
+type (
+	// WorkerFault is a contained worker panic: which engine, which
+	// worker, what it panicked with, and the goroutine stack.
+	WorkerFault = guard.WorkerFault
+	// StallError is a watchdog abort or deadlock self-report, carrying
+	// the last progress value, any stuck nodes, and a per-worker
+	// counter dump.
+	StallError = guard.StallError
+	// ChaosProbe injects faults for supervision tests (Options.Chaos).
+	ChaosProbe = guard.ChaosProbe
+)
+
+// ErrStalled is the sentinel matched by errors.Is for every stall abort.
+var ErrStalled = guard.ErrStalled
+
+// IsRecoverable reports whether err is a fault the Fallback policy
+// retries: a stall or a contained worker panic, but not a user
+// cancellation or a configuration error.
+func IsRecoverable(err error) bool { return guard.Recoverable(err) }
 
 // Static-analysis surface, re-exported from internal/analyze.
 type (
