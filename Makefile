@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint chaos check figures clean
+.PHONY: build test race vet lint chaos serve-test check figures clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,12 @@ chaos:
 	$(GO) test -race -timeout 5m -count=1 -run 'TestGuard' .
 	$(GO) test -race -timeout 5m -count=1 ./internal/guard
 
-check: build vet lint test race chaos
+## serve-test runs the simulation-service end-to-end suite (submit, poll,
+## admission control, scheduler budget, drain) under the race detector.
+serve-test:
+	$(GO) test -race -timeout 5m -count=1 ./internal/server
+
+check: build vet lint test race chaos serve-test
 
 ## figures regenerates the quick machine-readable benchmark snapshot.
 figures:

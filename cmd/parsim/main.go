@@ -11,6 +11,9 @@
 // feedback-chain). -timeout bounds the wall-clock time of a run; on expiry
 // the partial statistics accumulated so far are printed.
 //
+// -json replaces the text summary with a machine-readable run report on
+// stdout — the same schema the parsimd daemon serves for finished jobs.
+//
 // -lint warn|strict runs the static analyzer before simulating and refuses
 // hazardous circuits (zero-delay combinational cycles, undriven inputs).
 // The analyze subcommand runs the same analyzer standalone:
@@ -23,6 +26,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -57,6 +61,7 @@ func main() {
 		lintFlag    = flag.String("lint", "off", "pre-flight static analysis: off, warn (refuse errors), strict (refuse warnings too)")
 		watchdog    = flag.Duration("watchdog", 0, "abort the run when progress stalls for this long (0 = off)")
 		fallback    = flag.Bool("fallback", false, "retry on the sequential engine if the run panics or stalls")
+		jsonOut     = flag.Bool("json", false, "emit the run report as JSON (the same schema the parsimd daemon serves)")
 	)
 	flag.Parse()
 
@@ -73,13 +78,14 @@ func main() {
 		fmt.Print(parsim.NetlistSummary(c))
 	}
 
-	// Resolve the algorithm through the engine registry: the same dispatch
-	// table the library facade and the figure harness use.
-	eng, err := engine.Get(*algName)
+	// Resolve the algorithm through the facade, which dispatches through
+	// the same engine registry the figure harness and the daemon use.
+	alg, err := parsim.ParseAlgorithm(*algName)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := engine.Config{
+	opts := parsim.Options{
+		Algorithm:    alg,
 		Workers:      *workers,
 		Horizon:      parsim.Time(*horizon),
 		CostSpin:     *spin,
@@ -87,12 +93,10 @@ func main() {
 		CentralQueue: *central,
 		Lint:         lint,
 		Watchdog:     *watchdog,
+		Fallback:     *fallback,
 	}
-	if *fallback {
-		cfg.Fallback = "sequential"
-	}
-	if eng.Name() == "sequential" {
-		cfg.Workers = 1
+	if alg == parsim.Sequential {
+		opts.Workers = 1
 	}
 
 	var rec *parsim.Recorder
@@ -106,7 +110,7 @@ func main() {
 			watched = append(watched, n.ID)
 		}
 		rec = parsim.NewRecorderFor(watched...)
-		cfg.Probe = rec
+		opts.Probe = rec
 	}
 
 	ctx := context.Background()
@@ -115,28 +119,38 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	rep, err := engine.RunEngine(ctx, eng, c, cfg)
+	res, err := parsim.SimulateContext(ctx, c, opts)
 	if err != nil {
 		switch {
-		case rep == nil:
+		case res == nil:
 			fatal(err)
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-			fmt.Printf("run cancelled after %v: %v (partial statistics follow)\n", *timeout, err)
+			fmt.Fprintf(os.Stderr, "run cancelled after %v: %v (partial statistics follow)\n", *timeout, err)
 		case parsim.IsRecoverable(err):
-			fmt.Printf("run aborted by the supervisor: %v (partial statistics follow)\n", err)
+			fmt.Fprintf(os.Stderr, "run aborted by the supervisor: %v (partial statistics follow)\n", err)
 		default:
 			fatal(err)
 		}
 	}
-	if rep.Degraded {
-		fmt.Printf("%s engine failed (%v); results below come from the sequential fallback\n",
-			eng.Name(), rep.Fault)
-	}
-	fmt.Println(rep.Run.String())
-
-	for _, n := range watched {
-		fmt.Printf("%s: final=%v, %d changes\n",
-			c.Nodes[n].Name, rep.Final[n], len(rec.History(n)))
+	if *jsonOut {
+		// The run-report schema shared with the parsimd daemon
+		// (Result.MarshalJSON); diagnostics above go to stderr so stdout
+		// stays parseable.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		if res.Degraded {
+			fmt.Printf("%s engine failed (%v); results below come from the sequential fallback\n",
+				alg, res.Fault)
+		}
+		fmt.Println(res.Stats.String())
+		for _, n := range watched {
+			fmt.Printf("%s: final=%v, %d changes\n",
+				c.Nodes[n].Name, res.Final[n], len(rec.History(n)))
+		}
 	}
 	if *vcdPath != "" && rec != nil {
 		f, err := os.Create(*vcdPath)
@@ -144,10 +158,12 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := parsim.WriteVCD(f, c, rec, cfg.Horizon, watched...); err != nil {
+		if err := parsim.WriteVCD(f, c, rec, opts.Horizon, watched...); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *vcdPath)
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", *vcdPath)
+		}
 	}
 }
 

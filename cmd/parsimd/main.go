@@ -1,0 +1,85 @@
+// Command parsimd serves simulations over HTTP: submit a netlist and an
+// algorithm, poll for the run report, stream the waveform.
+//
+// Usage:
+//
+//	parsimd -addr :8080 -cores 8 -queue 256
+//
+// Endpoints (see internal/server for the full contract):
+//
+//	POST /v1/jobs          submit {"netlist": ..., "engine": ..., "horizon": ...}
+//	GET  /v1/jobs/{id}     poll status; the run report appears when done
+//	GET  /v1/jobs/{id}/vcd download the waveform of a finished job
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus metrics
+//
+// The daemon admits at most -queue jobs (429 beyond that) and never
+// reserves more than -cores worker cores across concurrently running
+// jobs. On SIGINT/SIGTERM it stops accepting work and drains running
+// jobs for up to -drain before force-cancelling them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"parsim/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cores    = flag.Int("cores", runtime.GOMAXPROCS(0), "worker-core budget shared by all running jobs")
+		queue    = flag.Int("queue", 256, "admission queue depth; submissions beyond it get 429")
+		maxBody  = flag.Int64("max-body", 8<<20, "request body cap in bytes (413 beyond)")
+		maxNodes = flag.Int("max-nodes", 200000, "per-circuit node cap (413 beyond)")
+		maxElems = flag.Int("max-elems", 200000, "per-circuit element cap (413 beyond)")
+		deadline = flag.Duration("deadline", 2*time.Minute, "default per-job wall-clock deadline")
+		maxDead  = flag.Duration("max-deadline", 10*time.Minute, "upper bound on requested per-job deadlines")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CoreBudget:      *cores,
+		MaxQueue:        *queue,
+		MaxBodyBytes:    *maxBody,
+		MaxNodes:        *maxNodes,
+		MaxElems:        *maxElems,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDead,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("parsimd listening on %s (cores=%d queue=%d)", *addr, *cores, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		// The listener failed before any signal (port in use, etc).
+		fmt.Fprintln(os.Stderr, "parsimd:", err)
+		os.Exit(1)
+	case got := <-sig:
+		log.Printf("parsimd: %v; draining (up to %v)", got, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("parsimd: drain expired; running jobs were cancelled (%v)", err)
+		os.Exit(1)
+	}
+	log.Printf("parsimd: drained cleanly")
+}

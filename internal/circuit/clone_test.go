@@ -1,0 +1,127 @@
+package circuit
+
+import (
+	"testing"
+
+	"parsim/internal/logic"
+)
+
+// cloneFixture builds a circuit exercising every slice-valued field Clone
+// must duplicate: fan-out lists, element port lists, and the Times/Values/
+// Mem parameter slices.
+func cloneFixture(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("clonefix")
+	clk := b.Bit("clk")
+	d := b.Node("d", 4)
+	q := b.Node("q", 4)
+	w := b.Node("w", 4)
+	rd := b.Node("rd", 4)
+	addr := b.Node("addr", 2)
+	b.Clock("osc", clk, 10, 0, 0)
+	b.Wave("stim", d, []Time{0, 5, 9}, []logic.Value{logic.V(4, 1), logic.V(4, 2), logic.V(4, 3)})
+	b.AddElement(KindDFF, "reg", 1, []NodeID{q}, []NodeID{clk, d}, Params{})
+	b.Gate(KindNot, "inv", 1, w, q)
+	b.AddElement(KindSlice, "sl", 1, []NodeID{addr}, []NodeID{w}, Params{Lo: 0})
+	b.AddElement(KindRom, "rom", 1, []NodeID{rd}, []NodeID{addr}, Params{Mem: []uint64{7, 8, 9, 10}})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := cloneFixture(t)
+	cp := c.Clone()
+
+	if cp == c {
+		t.Fatal("Clone returned the receiver")
+	}
+	// Mutate every slice/map the clone reaches; the original must not move.
+	cp.Nodes[0].Name = "hijacked"
+	cp.Nodes[c.ByName["q"]].Fanout[0].Port = 99
+	cp.Elems[0].Delay = 1234
+	romID := c.ElByName["rom"]
+	cp.Elems[romID].Params.Mem[0] = 0xdead
+	waveID := c.ElByName["stim"]
+	cp.Elems[waveID].Params.Times[0] = 777
+	cp.Elems[waveID].Params.Values[0] = logic.V(4, 15)
+	cp.Elems[romID].In[0] = 0
+	cp.ByName["phantom"] = 0
+	cp.ElByName["phantom"] = 0
+	cp.generators[0] = ElemID(3)
+
+	if c.Nodes[0].Name == "hijacked" {
+		t.Error("node slice shared")
+	}
+	if c.Nodes[c.ByName["q"]].Fanout[0].Port == 99 {
+		t.Error("fanout slice shared")
+	}
+	if c.Elems[0].Delay == 1234 {
+		t.Error("element slice shared")
+	}
+	if c.Elems[romID].Params.Mem[0] == 0xdead {
+		t.Error("Params.Mem shared")
+	}
+	if c.Elems[waveID].Params.Times[0] == 777 {
+		t.Error("Params.Times shared")
+	}
+	if c.Elems[waveID].Params.Values[0].Equal(logic.V(4, 15)) {
+		t.Error("Params.Values shared")
+	}
+	if c.Elems[romID].In[0] == 0 {
+		t.Error("element In slice shared")
+	}
+	if _, ok := c.ByName["phantom"]; ok {
+		t.Error("ByName map shared")
+	}
+	if _, ok := c.ElByName["phantom"]; ok {
+		t.Error("ElByName map shared")
+	}
+	if c.generators[0] == ElemID(3) {
+		t.Error("generators slice shared")
+	}
+}
+
+func TestCloneBackPointersAndDerivedState(t *testing.T) {
+	c := cloneFixture(t)
+	cp := c.Clone()
+
+	for i := range cp.Elems {
+		if cp.Elems[i].circ != cp {
+			t.Fatalf("element %d back-pointer still aims at the original", i)
+		}
+	}
+	if cp.TotalCost() != c.TotalCost() {
+		t.Errorf("TotalCost %d != %d", cp.TotalCost(), c.TotalCost())
+	}
+	if len(cp.Generators()) != len(c.Generators()) {
+		t.Errorf("generator count %d != %d", len(cp.Generators()), len(c.Generators()))
+	}
+	// The back-pointer is what port-width resolution runs through: an
+	// evaluation on the clone must work end to end.
+	romID := cp.ElByName["rom"]
+	el := &cp.Elems[romID]
+	out := make([]logic.Value, 1)
+	el.Eval([]logic.Value{logic.V(2, 1)}, nil, out)
+	if got, ok := out[0].Uint(); !ok || got != 8 {
+		t.Errorf("rom eval on clone = %v, want 8", out[0])
+	}
+	// Generator evaluation resolves widths through the back-pointer too.
+	waveID := cp.ElByName["stim"]
+	if v := cp.Elems[waveID].GenValueAt(6); !v.Equal(logic.V(4, 2)) {
+		t.Errorf("wave value on clone = %v, want 4'h2", v)
+	}
+}
+
+func TestCloneStats(t *testing.T) {
+	c := cloneFixture(t)
+	cp := c.Clone()
+	if c.Stats() != cp.Stats() {
+		t.Errorf("Stats differ: %+v vs %+v", c.Stats(), cp.Stats())
+	}
+	if c.String() != cp.String() {
+		t.Errorf("String differs: %q vs %q", c.String(), cp.String())
+	}
+}

@@ -16,6 +16,7 @@ package netlist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -88,13 +89,72 @@ func writeParams(w io.Writer, el *circuit.Element) {
 	}
 }
 
+// Limits bounds untrusted netlist input. The zero value imposes no
+// limits, so trusted callers keep the old Read behaviour; services parsing
+// network-supplied netlists set all three fields and map the typed
+// *LimitError to an HTTP 413 while ordinary parse errors map to 400.
+type Limits struct {
+	MaxBytes int64 // total input bytes accepted; 0 = unlimited
+	MaxNodes int   // node declarations accepted; 0 = unlimited
+	MaxElems int   // element declarations accepted; 0 = unlimited
+}
+
+// ErrLimit is the sentinel matched by errors.Is for every input-limit
+// rejection.
+var ErrLimit = errors.New("netlist: input exceeds limit")
+
+// LimitError reports which Limits field an input exceeded. It matches
+// ErrLimit via errors.Is.
+type LimitError struct {
+	What  string // "bytes", "nodes" or "elements"
+	Limit int64
+}
+
+// Error describes the exceeded limit.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("netlist: input exceeds %s limit (%d)", e.What, e.Limit)
+}
+
+// Is matches ErrLimit.
+func (e *LimitError) Is(target error) bool { return target == ErrLimit }
+
+// countingReader counts the bytes drawn from the wrapped reader, so the
+// byte cap fires on genuine input size, not on scanner buffering.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Read parses a circuit. The returned circuit has been validated by
-// circuit.Builder.
+// circuit.Builder. Input is fully trusted: no size limits apply — use
+// ReadLimited for anything that arrived over a network.
 func Read(r io.Reader) (*circuit.Circuit, error) {
+	return ReadLimited(r, Limits{})
+}
+
+// ReadLimited is Read for untrusted input: parsing stops with a typed
+// *LimitError as soon as the input exceeds any configured limit, so a
+// pathological netlist cannot make the parser allocate unboundedly.
+func ReadLimited(r io.Reader, lim Limits) (*circuit.Circuit, error) {
+	cr := &countingReader{r: r}
+	if lim.MaxBytes > 0 {
+		// Read one byte past the cap so "exactly at the limit" still parses
+		// while anything larger is detected without draining the input.
+		r = io.LimitReader(cr, lim.MaxBytes+1)
+	} else {
+		r = cr
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var b *circuit.Builder
 	lineNo := 0
+	nodes, elems := 0, 0
 	// The builder merges repeated Node calls and defers element errors to
 	// Build; in the textual format a repeated declaration is a typo, so
 	// track first-declaration lines and fail fast with both locations.
@@ -102,6 +162,9 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 	elemLine := map[string]int{}
 	for sc.Scan() {
 		lineNo++
+		if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
+			return nil, &LimitError{What: "bytes", Limit: lim.MaxBytes}
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -131,6 +194,9 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 				return nil, fmt.Errorf("netlist:%d: node %q already declared at line %d", lineNo, fields[1], first)
 			}
 			nodeLine[fields[1]] = lineNo
+			if nodes++; lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+				return nil, &LimitError{What: "nodes", Limit: int64(lim.MaxNodes)}
+			}
 			b.Node(fields[1], width)
 		case "elem":
 			if b == nil {
@@ -142,6 +208,9 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 				}
 				elemLine[fields[2]] = lineNo
 			}
+			if elems++; lim.MaxElems > 0 && elems > lim.MaxElems {
+				return nil, &LimitError{What: "elements", Limit: int64(lim.MaxElems)}
+			}
 			if err := parseElem(b, fields[1:]); err != nil {
 				return nil, fmt.Errorf("netlist:%d: %v", lineNo, err)
 			}
@@ -151,6 +220,11 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	// The limit reader may have truncated the input mid-line, which the
+	// scanner reports as a clean EOF; the byte count tells the truth.
+	if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
+		return nil, &LimitError{What: "bytes", Limit: lim.MaxBytes}
 	}
 	if b == nil {
 		return nil, fmt.Errorf("netlist: no circuit line")

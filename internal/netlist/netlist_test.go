@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -200,5 +201,79 @@ func TestWriteIdempotent(t *testing.T) {
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Errorf("%s: serialisation not idempotent", c.Name)
 		}
+	}
+}
+
+// validNet returns a small well-formed netlist for the limit tests.
+func validNet() string {
+	return `circuit lim
+node a 1
+node b 1
+node c 1
+elem clock osc period=4 out=a
+elem not inv1 delay=1 out=b in=a
+elem not inv2 delay=1 out=c in=b
+`
+}
+
+func TestReadLimitedNoLimitsMatchesRead(t *testing.T) {
+	c, err := ReadLimited(strings.NewReader(validNet()), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 3 || len(c.Elems) != 3 {
+		t.Fatalf("got %d nodes, %d elems", len(c.Nodes), len(c.Elems))
+	}
+}
+
+func TestReadLimitedByteCap(t *testing.T) {
+	src := validNet()
+	// Exactly at the cap parses; one byte under the size fails typed.
+	if _, err := ReadLimited(strings.NewReader(src), Limits{MaxBytes: int64(len(src))}); err != nil {
+		t.Fatalf("at-cap input rejected: %v", err)
+	}
+	_, err := ReadLimited(strings.NewReader(src), Limits{MaxBytes: int64(len(src)) - 1})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "bytes" {
+		t.Fatalf("want bytes LimitError, got %v", err)
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("LimitError does not match ErrLimit: %v", err)
+	}
+}
+
+func TestReadLimitedByteCapTruncatedTail(t *testing.T) {
+	// A cap landing mid-way through a trailing comment: the scanner sees a
+	// clean EOF on the truncated stream, but the parse must still fail —
+	// silently returning a prefix of an oversized input would hand the
+	// caller a different circuit than the one submitted.
+	src := validNet() + "# trailing commentary that pushes the input past the cap\n"
+	_, err := ReadLimited(strings.NewReader(src), Limits{MaxBytes: int64(len(validNet())) + 10})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "bytes" {
+		t.Fatalf("want bytes LimitError, got %v", err)
+	}
+}
+
+func TestReadLimitedNodeAndElemCaps(t *testing.T) {
+	_, err := ReadLimited(strings.NewReader(validNet()), Limits{MaxNodes: 2})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "nodes" || le.Limit != 2 {
+		t.Fatalf("want nodes LimitError(2), got %v", err)
+	}
+	_, err = ReadLimited(strings.NewReader(validNet()), Limits{MaxElems: 1})
+	if !errors.As(err, &le) || le.What != "elements" || le.Limit != 1 {
+		t.Fatalf("want elements LimitError(1), got %v", err)
+	}
+	// Caps exactly met parse fine.
+	if _, err := ReadLimited(strings.NewReader(validNet()), Limits{MaxNodes: 3, MaxElems: 3}); err != nil {
+		t.Fatalf("at-cap counts rejected: %v", err)
+	}
+}
+
+func TestReadLimitedParseErrorsStayUntyped(t *testing.T) {
+	_, err := ReadLimited(strings.NewReader("circuit x\nbogus line\n"), Limits{MaxBytes: 1 << 20})
+	if err == nil || errors.Is(err, ErrLimit) {
+		t.Fatalf("parse error misclassified: %v", err)
 	}
 }

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"parsim/internal/stats"
+)
+
+// promBounds are the upper bounds (milliseconds) of the cumulative
+// latency buckets /metrics exports. stats.Histogram keeps exact
+// per-value counts, so the Prometheus buckets are derived at render
+// time rather than fixed at observation time.
+var promBounds = []int{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// engineTotals are the per-engine evaluation counters accumulated across
+// finished jobs, keyed by canonical engine name.
+type engineTotals struct {
+	evals       int64
+	modelCalls  int64
+	nodeUpdates int64
+	eventsUsed  int64
+}
+
+// metrics is the daemon's counter and latency surface, rendered in
+// Prometheus text exposition format by render. All mutation goes through
+// the methods below under one mutex; the hot path is one lock per job
+// transition, far off any simulation inner loop.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted       int64 // accepted into the queue
+	rejectedFull    int64 // 429: queue at capacity
+	rejectedLarge   int64 // 413: body or netlist over the admission caps
+	rejectedInvalid int64 // 400: malformed request
+	rejectedDrain   int64 // 503: submitted while draining
+
+	done      int64
+	failed    int64
+	cancelled int64
+	degraded  int64 // finished via the sequential fallback
+
+	queueWaitMS stats.Histogram // submission -> dispatch, milliseconds
+	runMS       stats.Histogram // dispatch -> finish, milliseconds
+
+	perEngine map[string]*engineTotals
+}
+
+func newMetrics() *metrics {
+	return &metrics{perEngine: make(map[string]*engineTotals)}
+}
+
+func (m *metrics) onSubmit() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+// onReject counts one refused submission by HTTP status.
+func (m *metrics) onReject(status int) {
+	m.mu.Lock()
+	switch status {
+	case 429:
+		m.rejectedFull++
+	case 413:
+		m.rejectedLarge++
+	case 503:
+		m.rejectedDrain++
+	default:
+		m.rejectedInvalid++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) onStart(wait time.Duration) {
+	m.mu.Lock()
+	m.queueWaitMS.Observe(int(wait.Milliseconds()))
+	m.mu.Unlock()
+}
+
+// onFinish folds one terminal job into the counters: its state, run
+// latency, whether the fallback produced the result, and the summed
+// per-worker evaluation counters attributed to its engine.
+func (m *metrics) onFinish(engineName string, state jobState, wasDegraded bool, run time.Duration, tot stats.WorkerCounters) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case jobDone:
+		m.done++
+	case jobFailed:
+		m.failed++
+	case jobCancelled:
+		m.cancelled++
+	}
+	if wasDegraded {
+		m.degraded++
+	}
+	m.runMS.Observe(int(run.Milliseconds()))
+	e := m.perEngine[engineName]
+	if e == nil {
+		e = &engineTotals{}
+		m.perEngine[engineName] = e
+	}
+	e.evals += tot.Evals
+	e.modelCalls += tot.ModelCalls
+	e.nodeUpdates += tot.NodeUpdates
+	e.eventsUsed += tot.EventsUsed
+}
+
+// onDiscard counts a queued job thrown away during drain.
+func (m *metrics) onDiscard() {
+	m.mu.Lock()
+	m.cancelled++
+	m.mu.Unlock()
+}
+
+// gauges is the instantaneous state render needs alongside the counters.
+type gauges struct {
+	queueDepth int
+	running    int
+	budget     int
+	inUse      int
+	peak       int
+}
+
+// render writes the whole surface in Prometheus text exposition format.
+func (m *metrics) render(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("parsimd_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted)
+
+	fmt.Fprintf(w, "# HELP parsimd_jobs_rejected_total Submissions refused by admission control, by reason.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "parsimd_jobs_rejected_total{reason=\"queue_full\"} %d\n", m.rejectedFull)
+	fmt.Fprintf(w, "parsimd_jobs_rejected_total{reason=\"too_large\"} %d\n", m.rejectedLarge)
+	fmt.Fprintf(w, "parsimd_jobs_rejected_total{reason=\"invalid\"} %d\n", m.rejectedInvalid)
+	fmt.Fprintf(w, "parsimd_jobs_rejected_total{reason=\"draining\"} %d\n", m.rejectedDrain)
+
+	fmt.Fprintf(w, "# HELP parsimd_jobs_total Jobs finished, by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_jobs_total counter\n")
+	fmt.Fprintf(w, "parsimd_jobs_total{state=\"done\"} %d\n", m.done)
+	fmt.Fprintf(w, "parsimd_jobs_total{state=\"failed\"} %d\n", m.failed)
+	fmt.Fprintf(w, "parsimd_jobs_total{state=\"cancelled\"} %d\n", m.cancelled)
+
+	counter("parsimd_jobs_degraded_total", "Jobs completed by the sequential fallback engine.", m.degraded)
+
+	gauge("parsimd_queue_depth", "Jobs waiting in the admission queue.", g.queueDepth)
+	gauge("parsimd_jobs_running", "Jobs currently executing.", g.running)
+	gauge("parsimd_cores_budget", "Worker cores the scheduler may hand out (normally GOMAXPROCS).", g.budget)
+	gauge("parsimd_cores_in_use", "Worker cores currently reserved by running jobs.", g.inUse)
+	gauge("parsimd_cores_in_use_peak", "High-water mark of reserved worker cores.", g.peak)
+
+	histogram(w, "parsimd_queue_wait_milliseconds", "Time from submission to dispatch.", &m.queueWaitMS)
+	histogram(w, "parsimd_run_milliseconds", "Wall time of the simulation run.", &m.runMS)
+
+	engines := make([]string, 0, len(m.perEngine))
+	for name := range m.perEngine {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	engineCounter := func(name, help string, pick func(*engineTotals) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, eng := range engines {
+			fmt.Fprintf(w, "%s{engine=%q} %d\n", name, eng, pick(m.perEngine[eng]))
+		}
+	}
+	if len(engines) > 0 {
+		engineCounter("parsimd_engine_evals_total", "Element evaluations across finished jobs, by engine.",
+			func(t *engineTotals) int64 { return t.evals })
+		engineCounter("parsimd_engine_model_calls_total", "Element model-function invocations across finished jobs, by engine.",
+			func(t *engineTotals) int64 { return t.modelCalls })
+		engineCounter("parsimd_engine_node_updates_total", "Node value changes applied across finished jobs, by engine.",
+			func(t *engineTotals) int64 { return t.nodeUpdates })
+		engineCounter("parsimd_engine_events_used_total", "Input events consumed across finished jobs, by engine.",
+			func(t *engineTotals) int64 { return t.eventsUsed })
+	}
+}
+
+// histogram renders a stats.Histogram of millisecond samples as a
+// Prometheus histogram: cumulative le-labelled buckets over promBounds,
+// then sum and count.
+func histogram(w io.Writer, name, help string, h *stats.Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	buckets := h.Buckets()
+	var cum int64
+	i := 0
+	for _, bound := range promBounds {
+		for i < len(buckets) && buckets[i].Value <= bound {
+			cum += buckets[i].Count
+			i++
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N())
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.N())
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission-control sentinels, mapped to HTTP statuses by the handlers:
+// errQueueFull becomes 429 with a Retry-After hint, errQueueClosed 503.
+var (
+	errQueueFull   = errors.New("server: job queue full")
+	errQueueClosed = errors.New("server: job queue closed")
+)
+
+// jobQueue is the bounded FIFO between the submission handler and the
+// dispatcher. Admission control is the bound: a full queue rejects the
+// push instead of growing, so a traffic burst surfaces as 429s rather
+// than unbounded memory.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*job
+	max    int
+	closed bool
+}
+
+func newJobQueue(max int) *jobQueue {
+	q := &jobQueue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a job, failing typed when the queue is full or draining.
+func (q *jobQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.items) >= q.max {
+		return errQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// peek blocks until a job is available and returns the head without
+// removing it: the dispatcher keeps the head counted in the queue depth
+// while it waits for cores, so admission control sees the true backlog.
+// After close it first serves the leftover items (the dispatcher cancels
+// them during shutdown), then reports ok=false.
+func (q *jobQueue) peek() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	return q.items[0], true
+}
+
+// removeHead drops the job peek returned. Only the single dispatcher
+// goroutine consumes the queue, so the head cannot change in between.
+func (q *jobQueue) removeHead() {
+	q.mu.Lock()
+	q.items[0] = nil
+	q.items = q.items[1:]
+	q.mu.Unlock()
+}
+
+// close stops admission and wakes the dispatcher.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// coreBudget is the core-budget scheduler's accounting: a fixed pool of
+// worker cores (normally GOMAXPROCS) shared by all concurrent runs. The
+// dispatcher acquires a job's worker count before launching it and
+// releases it when the run finishes, so the sum of reserved cores never
+// exceeds the budget — several small jobs run side by side while a wide
+// job waits until enough cores free up. The inUse/peak gauges are the
+// scheduler's own observability surface (exposed via /metrics and the
+// Server accessors) and are what the oversubscription test asserts on.
+type coreBudget struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	budget int
+	inUse  int
+	peak   int
+	closed bool
+}
+
+func newCoreBudget(budget int) *coreBudget {
+	b := &coreBudget{budget: budget}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// acquire blocks until n cores are free and reserves them. It returns
+// false when the scheduler is closed (server shutdown) before the
+// reservation could be made. n must have been validated to fit the
+// budget at admission time.
+func (b *coreBudget) acquire(n int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.inUse+n > b.budget && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return false
+	}
+	b.inUse += n
+	if b.inUse > b.peak {
+		b.peak = b.inUse
+	}
+	return true
+}
+
+// release returns n cores to the pool and wakes the dispatcher.
+func (b *coreBudget) release(n int) {
+	b.mu.Lock()
+	b.inUse -= n
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// close wakes a dispatcher blocked in acquire so shutdown cannot hang
+// behind a wide job waiting for cores.
+func (b *coreBudget) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Budget returns the configured core budget.
+func (b *coreBudget) Budget() int { return b.budget }
+
+// InUse returns the cores currently reserved by running jobs.
+func (b *coreBudget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// Peak returns the high-water mark of reserved cores.
+func (b *coreBudget) Peak() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}

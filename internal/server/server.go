@@ -1,0 +1,522 @@
+// Package server is the simulation service layer behind the parsimd
+// daemon: an HTTP/JSON API over the engine registry with a bounded FIFO
+// job queue, admission control, a core-budget scheduler that shares
+// GOMAXPROCS across concurrent runs, per-run circuit instancing via
+// Circuit.Clone, and a Prometheus-format /metrics endpoint.
+//
+// The API surface:
+//
+//	POST /v1/jobs          submit a netlist + engine/options; 202 + job id
+//	GET  /v1/jobs          list all jobs, oldest first
+//	GET  /v1/jobs/{id}     poll job status; includes the run report when done
+//	GET  /v1/jobs/{id}/vcd stream the recorded waveform as VCD
+//	GET  /healthz          liveness (503 while draining)
+//	GET  /metrics          Prometheus text exposition
+//
+// Admission control is explicit: a full queue answers 429 with a
+// Retry-After hint instead of queueing unboundedly, oversized bodies and
+// netlists answer 413, and a draining server answers 503. One dispatcher
+// goroutine pops jobs in FIFO order and reserves each job's worker count
+// from the core budget before launching it, so the running set never
+// oversubscribes the machine — a wide job waits at the head of the queue
+// until enough cores free up (head-of-line blocking is the intended
+// fairness: strict FIFO, no starvation of wide jobs).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsim"
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+	"parsim/internal/netlist"
+	"parsim/internal/stats"
+	"parsim/internal/trace"
+)
+
+// Config sizes the service. The zero value of any field selects the
+// default documented on it.
+type Config struct {
+	// CoreBudget is the total worker cores the scheduler may hand out at
+	// once across all running jobs. Default GOMAXPROCS.
+	CoreBudget int
+	// MaxQueue bounds the admission queue; a submission beyond it is
+	// answered 429. Default 256.
+	MaxQueue int
+	// MaxBodyBytes caps the request body (and thereby the netlist text);
+	// beyond it the submission is answered 413. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxNodes and MaxElems cap the parsed circuit size (413 beyond).
+	// Default 200000 each.
+	MaxNodes, MaxElems int
+	// DefaultDeadline bounds a job that did not ask for a deadline;
+	// MaxDeadline clamps one that asked for more. Defaults 2m and 10m.
+	DefaultDeadline, MaxDeadline time.Duration
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c *Config) withDefaults() {
+	if c.CoreBudget <= 0 {
+		c.CoreBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 200000
+	}
+	if c.MaxElems <= 0 {
+		c.MaxElems = 200000
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Minute
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Server is the simulation service. Create with New, serve via Handler,
+// stop with Drain.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	queue  *jobQueue
+	budget *coreBudget
+	met    *metrics
+	jobs   *jobStore
+
+	nextID       atomic.Int64
+	runningJobs  atomic.Int64
+	draining     atomic.Bool
+	baseCtx      context.Context
+	baseCancel   context.CancelFunc
+	running      sync.WaitGroup // one per launched job goroutine
+	dispatchDone chan struct{}
+}
+
+// New builds a Server and starts its dispatcher.
+func New(cfg Config) *Server {
+	cfg.withDefaults()
+	s := &Server{
+		cfg:          cfg,
+		mux:          http.NewServeMux(),
+		queue:        newJobQueue(cfg.MaxQueue),
+		budget:       newCoreBudget(cfg.CoreBudget),
+		met:          newMetrics(),
+		jobs:         newJobStore(),
+		dispatchDone: make(chan struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/vcd", s.handleVCD)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	go s.dispatch()
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Scheduler gauges, exported for tests and the daemon's own logging; the
+// same numbers appear on /metrics.
+func (s *Server) CoreBudget() int  { return s.budget.Budget() }
+func (s *Server) CoresInUse() int  { return s.budget.InUse() }
+func (s *Server) CoresPeak() int   { return s.budget.Peak() }
+func (s *Server) QueueDepth() int  { return s.queue.depth() }
+func (s *Server) RunningJobs() int { return int(s.runningJobs.Load()) }
+
+// jobRequest is the submission body for POST /v1/jobs.
+type jobRequest struct {
+	// Netlist is the circuit in the parsim netlist text format.
+	Netlist string `json:"netlist"`
+	// Engine names the algorithm (canonical name or alias).
+	Engine string `json:"engine"`
+	// Workers is the parallel worker count, which is also the number of
+	// cores the scheduler reserves for the run. Default 1.
+	Workers int `json:"workers,omitempty"`
+	// Horizon is the simulated time bound; required, > 0.
+	Horizon int64 `json:"horizon"`
+	// DeadlineMS bounds the run's wall-clock time (0 = server default).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// WatchdogMS enables the stall watchdog (0 = off).
+	WatchdogMS int64 `json:"watchdog_ms,omitempty"`
+	// Lint selects pre-flight analysis: "off", "warn" or "strict".
+	Lint string `json:"lint,omitempty"`
+	// Fallback retries a faulted run on the sequential engine.
+	Fallback bool `json:"fallback,omitempty"`
+	// CostSpin is the synthetic per-evaluation work multiplier.
+	CostSpin int64 `json:"cost_spin,omitempty"`
+	// Watch lists node names to record; required for the /vcd endpoint.
+	Watch []string `json:"watch,omitempty"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"error":"response encoding failure"}`)
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// reject answers a refused submission, counting it by status first.
+func (s *Server) reject(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.onReject(status)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+	}
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /v1/jobs: validate, admit, enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reject(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.reject(w, http.StatusBadRequest, "malformed JSON body: %v", err)
+		return
+	}
+
+	eng, err := engine.Get(req.Engine)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Horizon <= 0 {
+		s.reject(w, http.StatusBadRequest, "horizon must be > 0, got %d", req.Horizon)
+		return
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		s.reject(w, http.StatusBadRequest, "workers must be >= 0, got %d", workers)
+		return
+	}
+	if eng.Name() == "sequential" {
+		workers = 1 // the reference engine is single-threaded by definition
+	}
+	if workers > s.budget.Budget() {
+		s.reject(w, http.StatusBadRequest,
+			"workers %d exceeds the server's core budget %d; the job could never be scheduled",
+			workers, s.budget.Budget())
+		return
+	}
+	lint, err := engine.ParseLintMode(req.Lint)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	if req.WatchdogMS < 0 || req.DeadlineMS < 0 {
+		s.reject(w, http.StatusBadRequest, "deadline_ms and watchdog_ms must be >= 0")
+		return
+	}
+
+	circ, err := netlist.ReadLimited(strings.NewReader(req.Netlist), netlist.Limits{
+		MaxBytes: s.cfg.MaxBodyBytes,
+		MaxNodes: s.cfg.MaxNodes,
+		MaxElems: s.cfg.MaxElems,
+	})
+	if err != nil {
+		if errors.Is(err, netlist.ErrLimit) {
+			s.reject(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
+		}
+		s.reject(w, http.StatusBadRequest, "netlist: %v", err)
+		return
+	}
+
+	var watch []circuit.NodeID
+	for _, name := range req.Watch {
+		n := circ.FindNode(strings.TrimSpace(name))
+		if n == nil {
+			s.reject(w, http.StatusBadRequest, "watch: no node named %q", name)
+			return
+		}
+		watch = append(watch, n.ID)
+	}
+
+	j := &job{
+		circ:     circ,
+		engine:   eng.Name(),
+		cores:    workers,
+		horizon:  circuit.Time(req.Horizon),
+		deadline: deadline,
+		watchdog: time.Duration(req.WatchdogMS) * time.Millisecond,
+		lint:     lint,
+		fallback: req.Fallback,
+		costSpin: req.CostSpin,
+		watch:    watch,
+		state:    jobQueued,
+	}
+	if len(watch) > 0 {
+		j.rec = trace.NewRecorderFor(watch...)
+	}
+	j.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	j.submitted = time.Now()
+	if err := s.queue.push(j); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.reject(w, http.StatusTooManyRequests,
+				"queue full (%d jobs); retry later", s.cfg.MaxQueue)
+			return
+		}
+		s.reject(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+	s.jobs.add(j)
+	s.met.onSubmit()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view(time.Now()))
+}
+
+// handleList is GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	all := s.jobs.all()
+	views := make([]jobView, len(all))
+	for i, j := range all {
+		views[i] = j.view(now)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobView `json:"jobs"`
+	}{Jobs: views})
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(time.Now()))
+}
+
+// handleVCD is GET /v1/jobs/{id}/vcd: stream the recorded waveform of a
+// finished job. 409 while the job is still queued or running, 404 when
+// the job recorded nothing (no watch nodes were requested).
+func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	state, hasTrace := j.snapshot()
+	if state == jobQueued || state == jobRunning {
+		writeJSON(w, http.StatusConflict,
+			errorBody{Error: fmt.Sprintf("job is %s; the waveform is available once it finishes", state)})
+		return
+	}
+	if !hasTrace {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "job recorded no waveform; submit with \"watch\" to trace nodes"})
+		return
+	}
+	serveVCD(w, j)
+}
+
+// serveVCD streams a finished job's waveform. Split from handleVCD so
+// the status-then-body order is straight-line (the respwrite lint checks
+// it per function).
+func serveVCD(w http.ResponseWriter, j *job) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	trace.WriteVCD(w, j.circ, j.rec, j.horizon, j.watch...)
+}
+
+// handleHealthz is GET /healthz: 200 while accepting work, 503 draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+		Running    int    `json:"jobs_running"`
+		CoresInUse int    `json:"cores_in_use"`
+	}{"ok", s.QueueDepth(), s.RunningJobs(), s.CoresInUse()}
+	status := http.StatusOK
+	if s.draining.Load() {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+// handleMetrics is GET /metrics, Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.met.render(w, gauges{
+		queueDepth: s.QueueDepth(),
+		running:    s.RunningJobs(),
+		budget:     s.budget.Budget(),
+		inUse:      s.budget.InUse(),
+		peak:       s.budget.Peak(),
+	})
+}
+
+// dispatch is the scheduler loop: pop jobs in FIFO order, reserve their
+// cores, launch them. Exactly one dispatcher runs per Server, so the
+// core-budget wait preserves submission order — a wide job blocks the
+// head of the queue until it fits rather than being overtaken forever.
+func (s *Server) dispatch() {
+	defer close(s.dispatchDone)
+	for {
+		j, ok := s.queue.peek()
+		if !ok {
+			return
+		}
+		// Reserve cores while the job is still the counted head of the
+		// queue, so a core-starved head keeps admission control honest.
+		admitted := !s.draining.Load() && s.budget.acquire(j.cores)
+		s.queue.removeHead()
+		if !admitted {
+			j.discard(time.Now())
+			s.met.onDiscard()
+			continue
+		}
+		s.running.Add(1)
+		go s.runJob(j)
+	}
+}
+
+// runJob executes one admitted job: clone the template circuit so
+// concurrent runs never share mutable state, bound the run with the
+// job's deadline under the server's base context, dispatch through the
+// engine registry, and fold the outcome into the job record and metrics.
+func (s *Server) runJob(j *job) {
+	defer s.running.Done()
+	defer s.budget.release(j.cores)
+	start := time.Now()
+	s.met.onStart(start.Sub(j.submitted))
+	j.setRunning(start)
+	s.runningJobs.Add(1)
+	defer s.runningJobs.Add(-1)
+
+	ctx := s.baseCtx
+	if j.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.deadline)
+		defer cancel()
+	}
+	cfg := engine.Config{
+		Workers:  j.cores,
+		Horizon:  j.horizon,
+		CostSpin: j.costSpin,
+		Lint:     j.lint,
+		Watchdog: j.watchdog,
+	}
+	if j.rec != nil {
+		cfg.Probe = j.rec
+	}
+	if j.fallback {
+		cfg.Fallback = "sequential"
+	}
+	rep, err := engine.Run(ctx, j.engine, j.circ.Clone(), cfg)
+
+	end := time.Now()
+	serverCancelled := s.baseCtx.Err() != nil && errors.Is(err, context.Canceled)
+	state := j.finish(resultFromReport(rep), err, end, serverCancelled)
+	var tot stats.WorkerCounters
+	degraded := false
+	if rep != nil {
+		tot = rep.Run.Totals()
+		degraded = rep.Degraded
+	}
+	s.met.onFinish(j.engine, state, degraded, end.Sub(start), tot)
+}
+
+// resultFromReport converts an engine report to the facade Result — the
+// same mapping SimulateContext applies, so a job's JSON result matches
+// `parsim -json` byte for byte on the same run.
+func resultFromReport(rep *engine.Report) *parsim.Result {
+	if rep == nil {
+		return nil
+	}
+	tot := rep.Run.Totals()
+	return &parsim.Result{
+		Stats:     rep.Run,
+		Final:     rep.Final,
+		Messages:  tot.Messages,
+		Rollbacks: tot.Rollbacks,
+		Cancelled: tot.Cancelled,
+		PeakLog:   rep.PeakLog,
+		Rounds:    rep.Rounds,
+		Degraded:  rep.Degraded,
+		Fault:     rep.Fault,
+	}
+}
+
+// Drain gracefully shuts the service down: refuse new submissions,
+// discard the queued backlog, and wait for running jobs. If ctx expires
+// first the base context is cancelled, which stops every engine within
+// one scheduling quantum; Drain still waits for the (now aborted) jobs
+// to record their partial results before returning ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		s.queue.close()
+		s.budget.close()
+	}
+	<-s.dispatchDone
+	done := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

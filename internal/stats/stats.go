@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,21 +19,25 @@ import (
 // zero (e.g. Steals outside the event-driven simulator, Rollbacks outside
 // Time Warp), so utilisation figures and overhead comparisons read the
 // same way across all seven engines.
+// The JSON field tags are a stable public schema: `parsim -json`, the
+// parsimd daemon's job results and any external consumer all read the
+// same names. Durations are tagged *_ns because time.Duration marshals as
+// integer nanoseconds.
 type WorkerCounters struct {
-	Evals        int64 // element evaluations (activations, for the async algorithm)
-	ModelCalls   int64 // element model-function invocations (== Evals except async)
-	NodeUpdates  int64 // node value changes applied
-	EventsUsed   int64 // input events consumed by evaluations (async family)
-	Steals       int64 // elements evaluated out of another worker's queue (event-driven)
-	BarrierWaits int64 // barrier passes (synchronous algorithms)
-	IdlePolls    int64 // empty work-queue polls / blocking waits (async family)
-	Messages     int64 // inter-worker messages sent (distributed-async)
-	Rollbacks    int64 // rollback episodes (time-warp)
-	Cancelled    int64 // events annihilated by anti-messages (time-warp)
-	RolledBack   int64 // processed element steps undone (time-warp)
+	Evals        int64 `json:"evals"`         // element evaluations (activations, for the async algorithm)
+	ModelCalls   int64 `json:"model_calls"`   // element model-function invocations (== Evals except async)
+	NodeUpdates  int64 `json:"node_updates"`  // node value changes applied
+	EventsUsed   int64 `json:"events_used"`   // input events consumed by evaluations (async family)
+	Steals       int64 `json:"steals"`        // elements evaluated out of another worker's queue (event-driven)
+	BarrierWaits int64 `json:"barrier_waits"` // barrier passes (synchronous algorithms)
+	IdlePolls    int64 `json:"idle_polls"`    // empty work-queue polls / blocking waits (async family)
+	Messages     int64 `json:"messages"`      // inter-worker messages sent (distributed-async)
+	Rollbacks    int64 `json:"rollbacks"`     // rollback episodes (time-warp)
+	Cancelled    int64 `json:"cancelled"`     // events annihilated by anti-messages (time-warp)
+	RolledBack   int64 `json:"rolled_back"`   // processed element steps undone (time-warp)
 
-	Busy time.Duration // wall time minus Idle
-	Idle time.Duration // time spent blocked or starved
+	Busy time.Duration `json:"busy_ns"` // wall time minus Idle
+	Idle time.Duration `json:"idle_ns"` // time spent blocked or starved
 }
 
 // Accumulate adds o's counters into c. Busy and Idle accumulate too, which
@@ -53,20 +58,22 @@ func (c *WorkerCounters) Accumulate(o WorkerCounters) {
 	c.Idle += o.Idle
 }
 
-// Run summarises one simulation run.
+// Run summarises one simulation run. It marshals to stable JSON (see the
+// WorkerCounters schema note); the Avail histogram serialises with its
+// full bucket list.
 type Run struct {
-	Algorithm   string
-	Circuit     string
-	Horizon     circuit.Time
-	Workers     int
-	TimeSteps   int64 // active time steps processed (0 for the async algorithm)
-	NodeUpdates int64 // node value changes applied
-	Evals       int64 // element evaluations (activations, for the async algorithm)
-	ModelCalls  int64 // element model-function invocations (== Evals except async)
-	EventsUsed  int64 // input events consumed by evaluations (async)
-	Wall        time.Duration
-	PerWorker   []WorkerCounters // one row per worker
-	Avail       Histogram        // elements available for evaluation per time step
+	Algorithm   string           `json:"algorithm"`
+	Circuit     string           `json:"circuit"`
+	Horizon     circuit.Time     `json:"horizon"`
+	Workers     int              `json:"workers"`
+	TimeSteps   int64            `json:"time_steps"`   // active time steps processed (0 for the async algorithm)
+	NodeUpdates int64            `json:"node_updates"` // node value changes applied
+	Evals       int64            `json:"evals"`        // element evaluations (activations, for the async algorithm)
+	ModelCalls  int64            `json:"model_calls"`  // element model-function invocations (== Evals except async)
+	EventsUsed  int64            `json:"events_used"`  // input events consumed by evaluations (async)
+	Wall        time.Duration    `json:"wall_ns"`
+	PerWorker   []WorkerCounters `json:"per_worker"` // one row per worker
+	Avail       Histogram        `json:"avail"`      // elements available for evaluation per time step
 }
 
 // Aggregate installs the per-worker counter rows, derives each worker's
@@ -157,6 +164,62 @@ func (h *Histogram) Observe(v int) {
 
 // N returns the number of samples.
 func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Bucket is one (value, count) pair of a Histogram, exposed for JSON and
+// metrics rendering.
+type Bucket struct {
+	Value int   `json:"value"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the observed values and their counts, sorted by value.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.counts))
+	for v, c := range h.counts {
+		out = append(out, Bucket{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// histogramJSON is the stable wire form of a Histogram: sample count, sum
+// and the sorted bucket list (sorted so repeated marshals are
+// byte-identical).
+type histogramJSON struct {
+	N       int64    `json:"n"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// MarshalJSON serialises the histogram with its full bucket list.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{N: h.n, Sum: h.sum, Buckets: h.Buckets()})
+}
+
+// UnmarshalJSON rebuilds the histogram from its wire form, so serialised
+// run reports round-trip.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*h = Histogram{}
+	for _, bk := range w.Buckets {
+		if bk.Count <= 0 {
+			continue
+		}
+		if h.counts == nil {
+			h.counts = make(map[int]int64)
+		}
+		h.counts[bk.Value] = bk.Count
+		h.n += bk.Count
+		h.sum += int64(bk.Value) * bk.Count
+	}
+	return nil
+}
 
 // Mean returns the sample mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {

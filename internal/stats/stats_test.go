@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -163,5 +164,90 @@ func TestQuickHistogramInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{3, 1, 1, 7, 3, 3} {
+		h.Observe(v)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":6,"sum":18,"buckets":[{"value":1,"count":2},{"value":3,"count":3},{"value":7,"count":1}]}`
+	if string(b) != want {
+		t.Fatalf("histogram JSON:\n got %s\nwant %s", b, want)
+	}
+	var back Histogram
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != h.N() || back.Sum() != h.Sum() || back.Mean() != h.Mean() {
+		t.Fatalf("round-trip lost samples: n=%d sum=%d", back.N(), back.Sum())
+	}
+	if back.Max() != 7 || back.Min() != 1 {
+		t.Fatalf("round-trip lost extremes: min=%d max=%d", back.Min(), back.Max())
+	}
+}
+
+func TestHistogramJSONEmpty(t *testing.T) {
+	var h Histogram
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"n":0,"sum":0}` {
+		t.Fatalf("empty histogram JSON: %s", b)
+	}
+	var back Histogram
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 {
+		t.Fatalf("empty round-trip gained samples: %d", back.N())
+	}
+}
+
+// TestRunJSONSchema pins the exported field names the CLI and the daemon
+// share: a schema change here is a breaking change for both.
+func TestRunJSONSchema(t *testing.T) {
+	r := Run{Algorithm: "sequential", Circuit: "c", Horizon: 10, Workers: 1, Wall: time.Millisecond}
+	r.Avail.Observe(2)
+	r.Aggregate(time.Millisecond, []WorkerCounters{{Evals: 5, NodeUpdates: 3}})
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"algorithm", "circuit", "horizon", "workers", "time_steps",
+		"node_updates", "evals", "model_calls", "events_used", "wall_ns",
+		"per_worker", "avail",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("run JSON missing %q: %s", key, b)
+		}
+	}
+	pw, ok := m["per_worker"].([]any)
+	if !ok || len(pw) != 1 {
+		t.Fatalf("per_worker malformed: %s", b)
+	}
+	row := pw[0].(map[string]any)
+	for _, key := range []string{"evals", "node_updates", "busy_ns", "idle_ns"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("worker row missing %q: %s", key, b)
+		}
+	}
+	var back Run
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Evals != r.Evals || back.Avail.N() != 1 {
+		t.Fatalf("run round-trip mismatch: %+v", back)
 	}
 }

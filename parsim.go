@@ -303,6 +303,15 @@ type Result struct {
 // Simulate runs the selected algorithm over [0, Horizon). All algorithms
 // produce identical node histories (Compiled on unit-delay circuits); they
 // differ in how the work is executed.
+//
+// A *Circuit must not be shared between concurrent Simulate (or
+// SimulateContext) calls: the engines treat the circuit as their private
+// working set for the duration of a run, and nothing in the API guarantees
+// two runs touching one circuit do not race. To run the same netlist many
+// times in parallel — as the parsimd daemon does — clone it per run with
+// Circuit.Clone, which deep-copies everything mutable while sharing the
+// immutable element-kind registry. TestConcurrentSimulateOnClones pins
+// this contract under the race detector.
 func Simulate(c *Circuit, opts Options) (*Result, error) {
 	return SimulateContext(context.Background(), c, opts)
 }

@@ -1,0 +1,110 @@
+package parsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"parsim/internal/engine"
+	"parsim/internal/logic"
+)
+
+// Algorithms returns the canonical names of every registered engine,
+// sorted — the same table ParseAlgorithm, the CLIs and the parsimd daemon
+// resolve names against.
+func Algorithms() []string { return engine.Names() }
+
+// ParseAlgorithm resolves an engine name or alias (case-insensitive,
+// e.g. "async", "tw", "event-driven") to the facade Algorithm constant,
+// through the same registry every other dispatch path uses.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	e, err := engine.Get(name)
+	if err != nil {
+		return Sequential, err
+	}
+	for a := Sequential; a <= ChandyMisra; a++ {
+		if a.String() == e.Name() {
+			return a, nil
+		}
+	}
+	return Sequential, fmt.Errorf("parsim: engine %q has no facade Algorithm constant", e.Name())
+}
+
+// resultJSON is the stable wire form of a Result: the run-report schema
+// shared by `parsim -json` and the parsimd daemon's job results. Final
+// node values serialise as Verilog-style literals ("4'b10xz"); the fault,
+// if any, as its message.
+type resultJSON struct {
+	Stats     RunStats `json:"stats"`
+	Final     []string `json:"final,omitempty"`
+	Messages  int64    `json:"messages,omitempty"`
+	Rollbacks int64    `json:"rollbacks,omitempty"`
+	Cancelled int64    `json:"cancelled,omitempty"`
+	PeakLog   int64    `json:"peak_log,omitempty"`
+	Rounds    int64    `json:"rounds,omitempty"`
+	Degraded  bool     `json:"degraded,omitempty"`
+	Fault     string   `json:"fault,omitempty"`
+}
+
+// MarshalJSON serialises the result to the stable run-report schema.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Stats:     r.Stats,
+		Messages:  r.Messages,
+		Rollbacks: r.Rollbacks,
+		Cancelled: r.Cancelled,
+		PeakLog:   r.PeakLog,
+		Rounds:    r.Rounds,
+		Degraded:  r.Degraded,
+	}
+	if r.Fault != nil {
+		out.Fault = r.Fault.Error()
+	}
+	if len(r.Final) > 0 {
+		out.Final = make([]string, len(r.Final))
+		for i, v := range r.Final {
+			if v.Width() == 0 {
+				continue // unset slot serialises as "", parses back to the zero Value
+			}
+			out.Final[i] = v.String()
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the run-report schema back into a Result, so
+// clients of the parsimd daemon (and consumers of `parsim -json` output)
+// can decode reports with this package's own types. The fault round-trips
+// as an opaque error carrying the original message.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*r = Result{
+		Stats:     in.Stats,
+		Messages:  in.Messages,
+		Rollbacks: in.Rollbacks,
+		Cancelled: in.Cancelled,
+		PeakLog:   in.PeakLog,
+		Rounds:    in.Rounds,
+		Degraded:  in.Degraded,
+	}
+	if in.Fault != "" {
+		r.Fault = errors.New(in.Fault)
+	}
+	if len(in.Final) > 0 {
+		r.Final = make([]Value, len(in.Final))
+		for i, s := range in.Final {
+			if s == "" {
+				continue
+			}
+			v, err := logic.ParseValue(s)
+			if err != nil {
+				return fmt.Errorf("parsim: final value %d: %w", i, err)
+			}
+			r.Final[i] = v
+		}
+	}
+	return nil
+}

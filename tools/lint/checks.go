@@ -24,7 +24,7 @@ type Analyzer struct {
 }
 
 // analyzers is the registry applied by main to every non-test file.
-var analyzers = []*Analyzer{legacyAtomic, mixedAccess, counterCopy}
+var analyzers = []*Analyzer{legacyAtomic, mixedAccess, counterCopy, respWrite}
 
 // counterFields are the per-worker counters of stats.WorkerCounters. The
 // counter-copy check uses them to recognise lost-update mutations of a
@@ -221,6 +221,100 @@ var counterCopy = &Analyzer{
 			})
 			return true
 		})
+		return out
+	},
+}
+
+// respWriterParams returns the names of fn's parameters whose declared
+// type mentions ResponseWriter ("http.ResponseWriter" or a local alias
+// ending in ResponseWriter). Purely syntactic, like every check here.
+func respWriterParams(fn *ast.FuncDecl) map[string]bool {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	var out map[string]bool
+	for _, field := range fn.Type.Params.List {
+		if !strings.HasSuffix(exprText(field.Type), "ResponseWriter") {
+			continue
+		}
+		for _, name := range field.Names {
+			if out == nil {
+				out = map[string]bool{}
+			}
+			out[name.Name] = true
+		}
+	}
+	return out
+}
+
+// respWrite flags HTTP handlers that call w.WriteHeader after the
+// response body has already been written through w. The first body write
+// commits an implicit 200 and a later WriteHeader is silently dropped
+// ("superfluous response.WriteHeader call" at runtime), so an error
+// status computed after rendering never reaches the client. The rule the
+// server package follows: set the status, then write the body.
+//
+// The check is per-function and ordered by source position: a write
+// through the ResponseWriter parameter (w.Write(...), or w passed as an
+// argument to any call, e.g. fmt.Fprintf(w, ...) or json.NewEncoder(w))
+// followed later by w.WriteHeader(...). Calls to w.Header() do not count
+// as writes — header mutation before WriteHeader is the normal pattern.
+var respWrite = &Analyzer{
+	Name: "respwrite",
+	Doc:  "flag http.Handlers that write the response body before setting the status",
+	Run: func(fset *token.FileSet, f *ast.File) []Diagnostic {
+		var out []Diagnostic
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			writers := respWriterParams(fn)
+			if len(writers) == 0 {
+				continue
+			}
+			firstWrite := map[string]token.Pos{} // writer name -> earliest body write
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && writers[id.Name] {
+						switch sel.Sel.Name {
+						case "Header":
+							return true // header mutation, not a body write
+						case "WriteHeader":
+							if w, wrote := firstWrite[id.Name]; wrote && w < call.Pos() {
+								out = append(out, Diagnostic{
+									Pos:  fset.Position(call.Pos()),
+									Code: "respwrite",
+									Msg: fmt.Sprintf("%s.WriteHeader after the body was already written at %s: the status is dropped — set it before writing",
+										id.Name, fset.Position(w)),
+								})
+							}
+							return true
+						default:
+							// w.Write, or any other method that emits body.
+							if _, seen := firstWrite[id.Name]; !seen {
+								firstWrite[id.Name] = call.Pos()
+							}
+							return true
+						}
+					}
+				}
+				// w handed to another writer: fmt.Fprintf(w, ...),
+				// json.NewEncoder(w), io.Copy(w, r), render(w)...
+				for _, arg := range call.Args {
+					if id, ok := arg.(*ast.Ident); ok && writers[id.Name] {
+						if _, seen := firstWrite[id.Name]; !seen {
+							firstWrite[id.Name] = call.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
 		return out
 	},
 }

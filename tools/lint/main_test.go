@@ -170,6 +170,74 @@ func bump(r *Run) {
 	}
 }
 
+func TestRespWriteFlagged(t *testing.T) {
+	src := `package p
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "hello")
+	w.WriteHeader(http.StatusInternalServerError) // dropped: body already sent
+}
+`
+	diags := apply(t, src)
+	found := false
+	for _, d := range diags {
+		if d.Code == "respwrite" && strings.Contains(d.Msg, "w.WriteHeader") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("status-after-body not flagged: %v", codes(diags))
+	}
+}
+
+func TestRespWriteDirectWriteFlagged(t *testing.T) {
+	src := `package p
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("oops"))
+	w.WriteHeader(404)
+}
+`
+	diags := apply(t, src)
+	if len(diags) != 1 || diags[0].Code != "respwrite" {
+		t.Fatalf("w.Write before WriteHeader not flagged: %v", codes(diags))
+	}
+}
+
+func TestRespWriteCorrectOrderClean(t *testing.T) {
+	src := `package p
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusTeapot)
+	fmt.Fprintln(w, "short and stout")
+}
+
+func implicit(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "implicit 200 is fine without WriteHeader")
+}
+
+func notAHandler(n int) int { return n + 1 }
+`
+	for _, d := range apply(t, src) {
+		if d.Code == "respwrite" {
+			t.Fatalf("correct status-then-body order flagged: %+v", d)
+		}
+	}
+}
+
 // TestRepoIsClean runs the analyzers over the real module — the check
 // `make lint` performs — pinning down that the codebase convention
 // (typed atomics, indexed counter writes) holds everywhere.
