@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test race vet lint chaos serve-test check figures clean
+.PHONY: build test race vet lint chaos serve-test check figures \
+	bench-diff bench-vector fuzz fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -40,5 +41,31 @@ check: build vet lint test race chaos serve-test
 figures:
 	$(GO) run ./cmd/figures -quick -json BENCH_baseline.json
 
+## bench-diff regenerates the quick snapshot into a scratch file and
+## compares it point-by-point against the tracked BENCH_baseline.json
+## (tools/benchdiff, 15% relative tolerance). Fails on drift; after an
+## intentional model change, re-baseline with `make figures`.
+bench-diff:
+	$(GO) run ./cmd/figures -quick -json .bench-current.json
+	$(GO) run ./tools/benchdiff BENCH_baseline.json .bench-current.json
+	rm -f .bench-current.json
+
+## bench-vector regenerates the batched-engine throughput snapshot: the
+## v1 experiment sweeps stimulus lanes on the inverter array and records
+## per-vector speed-up over the scalar compiled engine.
+bench-vector:
+	$(GO) run ./cmd/figures -fig v1 -mode real -json BENCH_vector.json
+
+## fuzz explores new inputs for the cross-engine differential harness.
+## The checked-in corpus under testdata/fuzz/FuzzEngines already replays
+## on every plain `go test` run (so `check` covers it, with -race).
+fuzz:
+	$(GO) test -fuzz=FuzzEngines -fuzztime=5m -run '^$$' .
+
+## fuzz-smoke is the CI-sized fuzz budget.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzEngines -fuzztime=30s -run '^$$' .
+
 clean:
 	$(GO) clean ./...
+	rm -f .bench-current.json

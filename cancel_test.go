@@ -9,7 +9,7 @@ import (
 
 // allAlgorithms is every registered engine, exercised through the facade.
 var allAlgorithms = []Algorithm{
-	Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra,
+	Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector,
 }
 
 // cancelHorizon is far beyond what any algorithm can finish in the test

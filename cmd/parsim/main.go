@@ -14,6 +14,11 @@
 // -json replaces the text summary with a machine-readable run report on
 // stdout — the same schema the parsimd daemon serves for finished jobs.
 //
+// -alg vector selects the bit-parallel batched engine: -lanes packs up to
+// 64 seed-shifted stimulus vectors into one run, -lane-stride sets the
+// per-lane rand/gray seed offset, and -probe-lane picks the lane that
+// -watch, -vcd and the final values observe.
+//
 // -lint warn|strict runs the static analyzer before simulating and refuses
 // hazardous circuits (zero-delay combinational cycles, undriven inputs).
 // The analyze subcommand runs the same analyzer standalone:
@@ -56,6 +61,9 @@ func main() {
 		vcdPath     = flag.String("vcd", "", "write watched-node waveforms to this VCD file")
 		noSteal     = flag.Bool("no-steal", false, "event-driven: disable work stealing")
 		central     = flag.Bool("central", false, "event-driven: use the contended central queue")
+		lanes       = flag.Int("lanes", 0, "vector: stimulus lanes packed per word, 1-64 (0 = 64)")
+		laneStride  = flag.Int64("lane-stride", 0, "vector: per-lane rand/gray seed offset (0 = 1)")
+		probeLane   = flag.Int("probe-lane", 0, "vector: lane observed by -watch/-vcd and reported as final values")
 		spin        = flag.Int64("spin", 0, "synthetic work multiplier per evaluation")
 		summary     = flag.Bool("summary", false, "print circuit statistics before simulating")
 		lintFlag    = flag.String("lint", "off", "pre-flight static analysis: off, warn (refuse errors), strict (refuse warnings too)")
@@ -94,6 +102,9 @@ func main() {
 		Lint:         lint,
 		Watchdog:     *watchdog,
 		Fallback:     *fallback,
+		Lanes:        *lanes,
+		LaneStride:   *laneStride,
+		ProbeLane:    *probeLane,
 	}
 	if alg == parsim.Sequential {
 		opts.Workers = 1

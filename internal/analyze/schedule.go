@@ -1,0 +1,33 @@
+package analyze
+
+import (
+	"sort"
+
+	"parsim/internal/circuit"
+)
+
+// LevelSchedule computes each element's combinational depth — the same
+// Kahn levelization Analyze reports in Report.Levels — without running the
+// diagnostic passes. Elements inside (or fed only through) sequential
+// feedback that cannot be levelized get -1. The batched vector engine uses
+// this to order each static partition so that evaluation sweeps the node
+// arrays in dependency depth order.
+func LevelSchedule(c *circuit.Circuit) []int {
+	levels, _ := levelize(buildGraph(c))
+	return levels
+}
+
+// OrderByLevel sorts each partition in place by ascending level (depth -1
+// first, then 0, 1, ...), breaking ties by element ID so the schedule is
+// deterministic for a given circuit and partitioning.
+func OrderByLevel(parts [][]circuit.ElemID, levels []int) {
+	for _, part := range parts {
+		sort.Slice(part, func(i, j int) bool {
+			li, lj := levels[part[i]], levels[part[j]]
+			if li != lj {
+				return li < lj
+			}
+			return part[i] < part[j]
+		})
+	}
+}

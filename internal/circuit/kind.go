@@ -133,6 +133,19 @@ func info(k Kind) *kindInfo {
 // netlist format.
 func KindName(k Kind) string { return info(k).name }
 
+// AllKinds returns every registered element kind in declaration order, so
+// kind-generic tests (the plane-kernel truth-table suite, netlist coverage)
+// can iterate the registry instead of hand-listing kinds.
+func AllKinds() []Kind {
+	out := make([]Kind, 0, int(kindMax)-1)
+	for k := Kind(1); k < kindMax; k++ {
+		if kinds[k].name != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // KindByName resolves a netlist kind name; ok is false if unknown.
 func KindByName(name string) (Kind, bool) {
 	for k := Kind(1); k < kindMax; k++ {

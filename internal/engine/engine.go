@@ -113,6 +113,20 @@ type Config struct {
 	// nil; the fallback run never sees it.
 	Chaos *guard.ChaosProbe
 
+	// Batched-simulation fields, honoured by the vector engine and ignored
+	// by the scalar engines.
+	//
+	// Lanes is the number of independent stimulus vectors packed into each
+	// machine word (1..logic.MaxLanes; 0 defaults to the full word of 64).
+	Lanes int
+	// LaneStride offsets the Seed of rand/gray stimulus generators per
+	// lane: lane k runs with Seed + k*LaneStride, so lane 0 always replays
+	// the scalar stimulus. 0 defaults to 1.
+	LaneStride int64
+	// ProbeLane selects which lane feeds Probe and Report.Final in a
+	// batched run (default 0, the scalar-identical lane).
+	ProbeLane int
+
 	// Ablation flags, honoured by the engine they name.
 	NoSteal       bool // event-driven: disable end-of-phase work stealing
 	CentralQueue  bool // event-driven: the paper's contended single-queue design
@@ -134,6 +148,10 @@ type Report struct {
 	Rounds int64
 	// GVTRounds counts time-warp synchronisation rounds.
 	GVTRounds int64
+	// LaneFinal holds every stimulus lane's final node values from a
+	// batched vector run, indexed [lane][NodeID]; LaneFinal[ProbeLane]
+	// equals Final. Nil for the scalar engines.
+	LaneFinal [][]logic.Value
 	// Degraded marks a result produced by the Config.Fallback engine
 	// after the requested engine faulted or stalled; Fault holds the
 	// original engine's error.

@@ -126,8 +126,13 @@ func Generate(id string, cfg Config) (*Figure, error) {
 		return t4(cfg), nil
 	case "t5":
 		return t5(cfg), nil
+	case "v1":
+		// Not in IDs(): the batched-throughput experiment always measures
+		// real wall-clock (see vector.go), so the default all-experiments
+		// model pass skips it; `make bench-vector` regenerates it.
+		return v1(cfg), nil
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1)", id, strings.Join(IDs(), ", "))
 }
 
 // procSweep returns the processor counts for curves: 1..8 then evens.

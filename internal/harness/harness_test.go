@@ -183,3 +183,31 @@ func TestChart(t *testing.T) {
 		t.Error("zero-range figure should render nothing")
 	}
 }
+
+// TestBatchedThroughput is the acceptance gate for the batched engine:
+// on the two-valued inverter array, packing 64 stimulus vectors per word
+// must deliver at least 8x the scalar compiled engine's per-vector
+// throughput. The measured margin is ~100x, so the 8x floor holds even
+// on a loaded CI host.
+func TestBatchedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-mode timing in -short")
+	}
+	cfg := DefaultConfig(Real)
+	cfg.Quick = true
+	f, err := Generate("v1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := f.Series[0]
+	if sp.Name != "per-vector-speedup" {
+		t.Fatalf("series[0] = %q", sp.Name)
+	}
+	last := len(sp.X) - 1
+	if sp.X[last] != 64 {
+		t.Fatalf("last lane count = %v, want 64", sp.X[last])
+	}
+	if sp.Y[last] < 8 {
+		t.Errorf("per-vector speed-up at 64 lanes = %.1fx, want >= 8x", sp.Y[last])
+	}
+}

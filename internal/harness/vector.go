@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+	"parsim/internal/gen"
+
+	// The batched engine registers itself like the scalar simulators.
+	_ "parsim/internal/vector"
+)
+
+// v1 — batched compiled-mode throughput: the bit-parallel vector engine
+// packs up to 64 seed-shifted stimulus vectors into the two planes of a
+// machine word, so one pass over the levelized schedule advances every
+// vector at once. The experiment sweeps the lane count on the two-valued
+// inverter array and reports per-vector speed-up over the scalar compiled
+// engine: (scalar wall x lanes) / batched wall, both at one worker so the
+// ratio isolates word-level parallelism from thread-level parallelism.
+//
+// v1 is not part of IDs(): it measures real wall-clock regardless of the
+// configured mode (there is no virtual-machine model of word-level
+// parallelism), so it is regenerated on demand — `make bench-vector`
+// writes the snapshot the repository tracks as BENCH_vector.json.
+func v1(cfg Config) *Figure {
+	f := &Figure{
+		ID:     "v1",
+		Title:  "Batched compiled-mode per-vector speed-up vs scalar compiled, inverter array",
+		XLabel: "lanes",
+		YLabel: "per-vector speed-up",
+	}
+	horizon := circuit.Time(4096)
+	if cfg.Quick {
+		horizon = 512
+	}
+	c := gen.InverterArray(gen.DefaultInverterArray())
+
+	// Wall-clock of one run, best of realReps; CostSpin stays zero so the
+	// measurement is raw kernel throughput, not synthetic evaluation work.
+	wall := func(alg string, lanes int) float64 {
+		span, _ := realBest(func() (float64, float64) {
+			rep, err := engine.Run(context.Background(), alg, c, engine.Config{
+				Workers: 1, Horizon: horizon, Lanes: lanes,
+			})
+			if err != nil {
+				panic("harness: " + alg + ": " + err.Error())
+			}
+			return float64(rep.Run.Wall), rep.Run.Utilization()
+		})
+		return span
+	}
+
+	scalar := wall("compiled", 0)
+	speedup := Series{Name: "per-vector-speedup"}
+	ratio := Series{Name: "batch-wall-ratio"} // batched wall / scalar wall
+	for _, lanes := range []int{1, 8, 16, 32, 64} {
+		w := wall("vector", lanes)
+		sp, r := 0.0, 0.0
+		if w > 0 {
+			sp = scalar * float64(lanes) / w
+		}
+		if scalar > 0 {
+			r = w / scalar
+		}
+		speedup.X = append(speedup.X, float64(lanes))
+		speedup.Y = append(speedup.Y, sp)
+		ratio.X = append(ratio.X, float64(lanes))
+		ratio.Y = append(ratio.Y, r)
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"%2d lanes: %.2fms wall, %.1fx per-vector (batch costs %.2fx one scalar run)",
+			lanes, w/1e6, sp, r))
+	}
+	f.Series = append(f.Series, speedup, ratio)
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("scalar compiled baseline: %.2fms wall for one stimulus vector", scalar/1e6),
+		"target: >=8x per-vector throughput at 64 lanes on the two-valued inverter array",
+		"both engines run one worker; the ratio isolates word-level parallelism")
+	return f
+}

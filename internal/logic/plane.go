@@ -1,0 +1,230 @@
+package logic
+
+import "fmt"
+
+// Plane is one bit position of a bus across up to 64 independent stimulus
+// lanes — the transposed, bit-parallel representation the batched vector
+// engine simulates with. Where a scalar Value stores one stimulus vector's
+// 64 bit positions in three planes indexed by bit, a Plane stores 64
+// stimulus vectors' copies of a single bit position in two planes indexed
+// by lane. Lane i's state is the bit pair (V>>i&1, U>>i&1):
+//
+//	(0,0) = L   (1,0) = H   (0,1) = X   (1,1) = Z
+//
+// Two machine words therefore carry one bit of 64 full four-state lanes,
+// and the plane operations below evaluate a gate for all 64 lanes in a
+// handful of word instructions. Each operation mirrors the corresponding
+// scalar Value operation exactly, lane for lane; plane_test.go proves the
+// equivalence exhaustively over every 4-state input combination.
+//
+// Operations never produce Z and keep V clear where U is set (the same
+// canonical discipline Value keeps between its bits and unk planes), so
+// planes holding op results are comparable with ==. Planes holding packed
+// input values may carry Z lanes (V and U both set).
+type Plane struct {
+	V uint64 // value plane: lane is 1/H (or the Z marker with U)
+	U uint64 // undefined plane: lane is X (or Z when V is also set)
+}
+
+// MaxLanes is the number of stimulus lanes a Plane word pair carries.
+const MaxLanes = 64
+
+// PlaneBroadcast returns a Plane holding s in every lane.
+func PlaneBroadcast(s State) Plane {
+	switch s {
+	case L:
+		return Plane{}
+	case H:
+		return Plane{V: ^uint64(0)}
+	case X:
+		return Plane{U: ^uint64(0)}
+	case Z:
+		return Plane{V: ^uint64(0), U: ^uint64(0)}
+	}
+	panic("logic: invalid state " + s.String())
+}
+
+// Lane returns the state held in lane i.
+func (p Plane) Lane(i int) State {
+	bit := uint64(1) << uint(i)
+	switch {
+	case p.V&bit != 0 && p.U&bit != 0:
+		return Z
+	case p.U&bit != 0:
+		return X
+	case p.V&bit != 0:
+		return H
+	default:
+		return L
+	}
+}
+
+// SetLane stores s into lane i.
+func (p *Plane) SetLane(i int, s State) {
+	bit := uint64(1) << uint(i)
+	p.V &^= bit
+	p.U &^= bit
+	switch s {
+	case H:
+		p.V |= bit
+	case X:
+		p.U |= bit
+	case Z:
+		p.V |= bit
+		p.U |= bit
+	case L:
+	default:
+		panic("logic: invalid state " + s.String())
+	}
+}
+
+// Readable converts Z lanes to X, the plane form of Value.readable: a gate
+// that samples a floating wire reads an unknown. The result is canonical
+// (V clear wherever U is set).
+func (p Plane) Readable() Plane {
+	return Plane{V: p.V &^ p.U, U: p.U}
+}
+
+// Lane-mask accessors. HMask/LMask treat only strong levels as matches, so
+// X and Z lanes appear in neither; KnownMask is their union.
+func (p Plane) HMask() uint64     { return p.V &^ p.U }
+func (p Plane) LMask() uint64     { return ^(p.V | p.U) }
+func (p Plane) KnownMask() uint64 { return ^p.U }
+func (p Plane) XMask() uint64     { return p.U &^ p.V }
+func (p Plane) ZMask() uint64     { return p.V & p.U }
+
+// PlaneSelect returns a in the lanes where mask is set and b elsewhere —
+// the lane-wise conditional the sequential-element kernels are built from.
+func PlaneSelect(mask uint64, a, b Plane) Plane {
+	return Plane{V: a.V&mask | b.V&^mask, U: a.U&mask | b.U&^mask}
+}
+
+// PlaneNot mirrors Value.Not: complement per lane, X and Z lanes yield X.
+func PlaneNot(a Plane) Plane {
+	r := a.Readable()
+	return Plane{V: ^(r.V | r.U), U: r.U}
+}
+
+// PlaneAnd mirrors Value.And: a lane is L when either input lane is a known
+// L (the controlling value), H when both are known H, X otherwise.
+func PlaneAnd(a, b Plane) Plane {
+	ra, rb := a.Readable(), b.Readable()
+	one := ra.V & rb.V
+	zero := ^(ra.V | ra.U) | ^(rb.V | rb.U)
+	return Plane{V: one, U: ^(one | zero)}
+}
+
+// PlaneOr mirrors Value.Or: H is the controlling value.
+func PlaneOr(a, b Plane) Plane {
+	ra, rb := a.Readable(), b.Readable()
+	one := ra.V | rb.V
+	zero := ^(ra.V | ra.U) & ^(rb.V | rb.U)
+	return Plane{V: one, U: ^(one | zero)}
+}
+
+// PlaneXor mirrors Value.Xor: any X or Z input lane yields X.
+func PlaneXor(a, b Plane) Plane {
+	ra, rb := a.Readable(), b.Readable()
+	u := ra.U | rb.U
+	return Plane{V: (ra.V ^ rb.V) &^ u, U: u}
+}
+
+// PlaneMux mirrors logic.Mux: per lane, a when sel is L, b when sel is H;
+// when sel is X or Z the lane keeps the value a and b agree on (known and
+// equal) and is X otherwise.
+func PlaneMux(sel, a, b Plane) Plane {
+	rs, ra, rb := sel.Readable(), a.Readable(), b.Readable()
+	selL := ^(rs.V | rs.U)
+	selH := rs.V
+	agree := ^(ra.V ^ rb.V) &^ (ra.U | rb.U)
+	return Plane{
+		V: ra.V&selL | rb.V&selH | ra.V&agree&rs.U,
+		U: ra.U&selL | rb.U&selH | ^agree&rs.U,
+	}
+}
+
+// PlaneResolve mirrors logic.Resolve, the wired-bus resolution function:
+// per lane, Z yields to the other driver, agreement on a strong level keeps
+// it, conflict or X produces X.
+func PlaneResolve(a, b Plane) Plane {
+	za := a.V & a.U
+	zb := (b.V & b.U) &^ za
+	neither := ^(za | zb | b.V&b.U)
+	eq := ^(a.V ^ b.V) & ^(a.U ^ b.U)
+	keep := eq &^ a.U // known and equal
+	return Plane{
+		V: za&b.V | zb&a.V | neither&keep&a.V,
+		U: za&b.U | zb&a.U | neither&^keep,
+	}
+}
+
+// ---- packed-bus helpers ----
+//
+// A batched bus of width w is a []Plane of length w, planes[i] holding bit
+// i of every lane. These helpers move scalar Values in and out of that
+// transposed layout.
+
+// PackLane writes v into lane of the bus planes[0:v.Width()].
+func PackLane(planes []Plane, lane int, v Value) {
+	if len(planes) < int(v.width) {
+		panic(fmt.Sprintf("logic: PackLane %d-bit value into %d planes", v.width, len(planes)))
+	}
+	bit := uint64(1) << uint(lane)
+	for i := 0; i < int(v.width); i++ {
+		p := planes[i]
+		p.V &^= bit
+		p.U &^= bit
+		pos := uint64(1) << uint(i)
+		if v.hiz&pos != 0 {
+			p.V |= bit
+			p.U |= bit
+		} else if v.unk&pos != 0 {
+			p.U |= bit
+		} else if v.bits&pos != 0 {
+			p.V |= bit
+		}
+		planes[i] = p
+	}
+}
+
+// ExtractLane reads lane of the width-bit bus planes[0:width] as a Value.
+func ExtractLane(planes []Plane, lane, width int) Value {
+	w := checkWidth(width)
+	bit := uint64(1) << uint(lane)
+	var v Value
+	v.width = w
+	for i := 0; i < width; i++ {
+		p := planes[i]
+		pos := uint64(1) << uint(i)
+		switch {
+		case p.V&bit != 0 && p.U&bit != 0:
+			v.hiz |= pos
+		case p.U&bit != 0:
+			v.unk |= pos
+		case p.V&bit != 0:
+			v.bits |= pos
+		}
+	}
+	return v
+}
+
+// BroadcastValue fills dst[0:v.Width()] with v replicated into every lane.
+func BroadcastValue(dst []Plane, v Value) {
+	if len(dst) < int(v.width) {
+		panic(fmt.Sprintf("logic: BroadcastValue %d-bit value into %d planes", v.width, len(dst)))
+	}
+	all := ^uint64(0)
+	for i := 0; i < int(v.width); i++ {
+		pos := uint64(1) << uint(i)
+		var p Plane
+		switch {
+		case v.hiz&pos != 0:
+			p = Plane{V: all, U: all}
+		case v.unk&pos != 0:
+			p = Plane{U: all}
+		case v.bits&pos != 0:
+			p = Plane{V: all}
+		}
+		dst[i] = p
+	}
+}

@@ -1,0 +1,236 @@
+package logic
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+var allStates = []State{L, H, X, Z}
+
+// packStates builds a Plane holding states[i] in lane i and repeats the
+// pattern across all 64 lanes, so every test also proves lane independence:
+// a correct op must produce the same per-lane result wherever the lane sits.
+func packStates(states []State) Plane {
+	var p Plane
+	for i := 0; i < MaxLanes; i++ {
+		p.SetLane(i, states[i%len(states)])
+	}
+	return p
+}
+
+// TestPlaneUnaryOpsExhaustive proves PlaneNot and Readable against the
+// scalar ops for all four input states in every lane position.
+func TestPlaneUnaryOpsExhaustive(t *testing.T) {
+	in := packStates(allStates)
+	got := PlaneNot(in)
+	for lane := 0; lane < MaxLanes; lane++ {
+		s := in.Lane(lane)
+		want := FromState(s).Not().State()
+		if g := got.Lane(lane); g != want {
+			t.Errorf("PlaneNot lane %d: Not(%v) = %v, want %v", lane, s, g, want)
+		}
+		wantR := FromState(s).readable().State()
+		if g := in.Readable().Lane(lane); g != wantR {
+			t.Errorf("Readable lane %d: readable(%v) = %v, want %v", lane, s, g, wantR)
+		}
+	}
+}
+
+// TestPlaneBinaryOpsExhaustive proves every binary plane op against its
+// scalar counterpart for all 16 four-state input pairs, in every lane.
+func TestPlaneBinaryOpsExhaustive(t *testing.T) {
+	ops := []struct {
+		name   string
+		plane  func(a, b Plane) Plane
+		scalar func(a, b Value) Value
+	}{
+		{"And", PlaneAnd, Value.And},
+		{"Or", PlaneOr, Value.Or},
+		{"Xor", PlaneXor, Value.Xor},
+		{"Nand", func(a, b Plane) Plane { return PlaneNot(PlaneAnd(a, b)) }, Value.Nand},
+		{"Nor", func(a, b Plane) Plane { return PlaneNot(PlaneOr(a, b)) }, Value.Nor},
+		{"Xnor", func(a, b Plane) Plane { return PlaneNot(PlaneXor(a, b)) }, Value.Xnor},
+		{"Resolve", PlaneResolve, Resolve},
+	}
+	// All 16 (a,b) state pairs spread over 16 lanes, repeated 4x across the
+	// word so each combination is checked in four different lane positions.
+	var as, bs []State
+	for _, a := range allStates {
+		for _, b := range allStates {
+			as = append(as, a)
+			bs = append(bs, b)
+		}
+	}
+	pa, pb := packStates(as), packStates(bs)
+	for _, op := range ops {
+		got := op.plane(pa, pb)
+		for lane := 0; lane < MaxLanes; lane++ {
+			sa, sb := pa.Lane(lane), pb.Lane(lane)
+			want := op.scalar(FromState(sa), FromState(sb)).State()
+			if g := got.Lane(lane); g != want {
+				t.Errorf("%s lane %d: (%v,%v) = %v, want %v", op.name, lane, sa, sb, g, want)
+			}
+		}
+	}
+}
+
+// TestPlaneMuxExhaustive proves PlaneMux against logic.Mux for all 64
+// (sel,a,b) four-state combinations — one combination per lane fills the
+// word exactly.
+func TestPlaneMuxExhaustive(t *testing.T) {
+	var sels, as, bs []State
+	for _, sel := range allStates {
+		for _, a := range allStates {
+			for _, b := range allStates {
+				sels = append(sels, sel)
+				as = append(as, a)
+				bs = append(bs, b)
+			}
+		}
+	}
+	ps, pa, pb := packStates(sels), packStates(as), packStates(bs)
+	got := PlaneMux(ps, pa, pb)
+	for lane := 0; lane < MaxLanes; lane++ {
+		sel, a, b := ps.Lane(lane), pa.Lane(lane), pb.Lane(lane)
+		want := Mux(FromState(sel), FromState(a), FromState(b)).State()
+		if g := got.Lane(lane); g != want {
+			t.Errorf("Mux lane %d: (sel=%v,a=%v,b=%v) = %v, want %v", lane, sel, a, b, g, want)
+		}
+	}
+}
+
+// TestPlaneOpsCanonical proves op results are canonical (no lane with V set
+// under U except the never-produced Z), so planes compare with ==.
+func TestPlaneOpsCanonical(t *testing.T) {
+	var as, bs []State
+	for _, a := range allStates {
+		for _, b := range allStates {
+			as = append(as, a)
+			bs = append(bs, b)
+		}
+	}
+	pa, pb := packStates(as), packStates(bs)
+	check := func(name string, p Plane) {
+		t.Helper()
+		if z := p.ZMask(); z != 0 && name != "Resolve" {
+			t.Errorf("%s produced Z lanes %#x; gate ops must read Z as X", name, z)
+		}
+	}
+	check("And", PlaneAnd(pa, pb))
+	check("Or", PlaneOr(pa, pb))
+	check("Xor", PlaneXor(pa, pb))
+	check("Not", PlaneNot(pa))
+	check("Mux", PlaneMux(pa, pa, pb))
+}
+
+func TestPlaneBroadcastAndMasks(t *testing.T) {
+	for _, s := range allStates {
+		p := PlaneBroadcast(s)
+		for lane := 0; lane < MaxLanes; lane++ {
+			if g := p.Lane(lane); g != s {
+				t.Fatalf("PlaneBroadcast(%v).Lane(%d) = %v", s, lane, g)
+			}
+		}
+		all := ^uint64(0)
+		wantH := map[State]uint64{H: all}[s]
+		wantL := map[State]uint64{L: all}[s]
+		wantX := map[State]uint64{X: all}[s]
+		wantZ := map[State]uint64{Z: all}[s]
+		if p.HMask() != wantH || p.LMask() != wantL || p.XMask() != wantX || p.ZMask() != wantZ {
+			t.Errorf("masks for %v: H=%#x L=%#x X=%#x Z=%#x", s, p.HMask(), p.LMask(), p.XMask(), p.ZMask())
+		}
+		if known := p.KnownMask(); (known == all) != (s == L || s == H) {
+			t.Errorf("KnownMask for %v = %#x", s, known)
+		}
+	}
+}
+
+func TestPlaneSelect(t *testing.T) {
+	a, b := PlaneBroadcast(H), PlaneBroadcast(Z)
+	const mask = uint64(0xaaaa_aaaa_aaaa_aaaa)
+	got := PlaneSelect(mask, a, b)
+	for lane := 0; lane < MaxLanes; lane++ {
+		want := Z
+		if mask>>uint(lane)&1 != 0 {
+			want = H
+		}
+		if g := got.Lane(lane); g != want {
+			t.Fatalf("PlaneSelect lane %d = %v, want %v", lane, g, want)
+		}
+	}
+}
+
+// fourStateValue derives an arbitrary four-state Value of the given width from
+// two source words (quick-check friendly).
+func fourStateValue(width int, a, b uint64) Value {
+	states := make([]State, width)
+	for i := range states {
+		states[i] = allStates[(a>>uint(2*i%64)^b>>uint((2*i+17)%64))&3]
+	}
+	return FromStates(states)
+}
+
+// TestPackExtractRoundTrip quick-checks that PackLane followed by
+// ExtractLane returns the original value for every lane and width, with
+// neighbouring lanes left untouched.
+func TestPackExtractRoundTrip(t *testing.T) {
+	f := func(a, b uint64, widthSeed, laneSeed uint8) bool {
+		width := int(widthSeed)%MaxWidth + 1
+		lane := int(laneSeed) % MaxLanes
+		other := (lane + 13) % MaxLanes
+		v := fourStateValue(width, a, b)
+		neighbour := fourStateValue(width, b, ^a)
+
+		planes := make([]Plane, width)
+		PackLane(planes, other, neighbour)
+		PackLane(planes, lane, v)
+		return ExtractLane(planes, lane, width) == v &&
+			ExtractLane(planes, other, width) == neighbour
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBroadcastValue checks BroadcastValue against per-lane extraction.
+func TestBroadcastValue(t *testing.T) {
+	for _, v := range []Value{
+		V(1, 1), AllX(3), AllZ(8),
+		FromStates([]State{L, H, X, Z, H, L, Z, X}),
+		V(64, 0xdeadbeefcafef00d),
+	} {
+		planes := make([]Plane, v.Width())
+		BroadcastValue(planes, v)
+		for lane := 0; lane < MaxLanes; lane++ {
+			if got := ExtractLane(planes, lane, v.Width()); got != v {
+				t.Fatalf("BroadcastValue(%v) lane %d = %v", v, lane, got)
+			}
+		}
+	}
+}
+
+// TestSetLaneLane round-trips every state through every lane.
+func TestSetLaneLane(t *testing.T) {
+	for lane := 0; lane < MaxLanes; lane++ {
+		for _, s := range allStates {
+			p := PlaneBroadcast(allStates[(lane+1)%4])
+			p.SetLane(lane, s)
+			if got := p.Lane(lane); got != s {
+				t.Fatalf("lane %d: set %v, got %v", lane, s, got)
+			}
+		}
+	}
+}
+
+func ExamplePlane() {
+	// Lane 0 carries L AND H, lane 1 carries X AND H.
+	var a, b Plane
+	a.SetLane(0, L)
+	b.SetLane(0, H)
+	a.SetLane(1, X)
+	b.SetLane(1, H)
+	y := PlaneAnd(a, b)
+	fmt.Println(y.Lane(0), y.Lane(1))
+	// Output: 0 x
+}

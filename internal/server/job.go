@@ -29,18 +29,23 @@ const (
 // dispatcher; the mutable lifecycle fields below mu are shared between the
 // runner goroutine and status requests.
 type job struct {
-	id      string
-	circ    *circuit.Circuit // template; every run simulates a fresh Clone
-	engine  string           // canonical engine name
-	cores   int              // worker cores reserved from the budget
-	horizon circuit.Time
+	id       string
+	circ     *circuit.Circuit // template; every run simulates a fresh Clone
+	engine   string           // canonical engine name
+	cores    int              // worker cores reserved from the budget
+	horizon  circuit.Time
 	deadline time.Duration // per-job wall-clock budget (0 = none)
 	watchdog time.Duration
 	lint     engine.LintMode
 	fallback bool
 	costSpin int64
-	watch    []circuit.NodeID // nodes recorded for the /vcd endpoint
-	rec      *trace.Recorder  // nil unless watch nodes were requested
+	// Batched-run fields, passed through to the vector engine (and
+	// ignored by the scalar engines).
+	lanes      int
+	laneStride int64
+	probeLane  int
+	watch      []circuit.NodeID // nodes recorded for the /vcd endpoint
+	rec        *trace.Recorder  // nil unless watch nodes were requested
 
 	mu        sync.Mutex
 	state     jobState
@@ -60,10 +65,10 @@ type jobView struct {
 	Circuit  string         `json:"circuit"`
 	Workers  int            `json:"workers"`
 	Horizon  int64          `json:"horizon"`
-	QueuedMS int64          `json:"queued_ms"`          // time spent waiting for cores
-	RunMS    int64          `json:"run_ms,omitempty"`   // wall time of the run itself
-	Error    string         `json:"error,omitempty"`    // terminal failure message
-	Result   *parsim.Result `json:"result,omitempty"`   // present once the job finished
+	QueuedMS int64          `json:"queued_ms"`        // time spent waiting for cores
+	RunMS    int64          `json:"run_ms,omitempty"` // wall time of the run itself
+	Error    string         `json:"error,omitempty"`  // terminal failure message
+	Result   *parsim.Result `json:"result,omitempty"` // present once the job finished
 }
 
 // view snapshots the job for serialisation.

@@ -39,6 +39,7 @@ import (
 	"parsim"
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
+	"parsim/internal/logic"
 	"parsim/internal/netlist"
 	"parsim/internal/stats"
 	"parsim/internal/trace"
@@ -172,6 +173,16 @@ type jobRequest struct {
 	CostSpin int64 `json:"cost_spin,omitempty"`
 	// Watch lists node names to record; required for the /vcd endpoint.
 	Watch []string `json:"watch,omitempty"`
+	// Lanes batches up to 64 seed-shifted stimulus vectors into one run of
+	// the vector engine (0 = engine default of 64; ignored by the scalar
+	// engines). One job, one core reservation, Lanes results: the
+	// per-lane final values come back in the result's lane_final rows.
+	Lanes int `json:"lanes,omitempty"`
+	// LaneStride is the per-lane rand/gray seed offset (0 = 1).
+	LaneStride int64 `json:"lane_stride,omitempty"`
+	// ProbeLane selects the lane the watch recording and the final values
+	// observe (default 0, the scalar-identical lane).
+	ProbeLane int `json:"probe_lane,omitempty"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -195,7 +206,7 @@ func (s *Server) reject(w http.ResponseWriter, status int, format string, args .
 	s.met.onReject(status)
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
@@ -261,6 +272,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, "deadline_ms and watchdog_ms must be >= 0")
 		return
 	}
+	if req.Lanes < 0 || req.Lanes > logic.MaxLanes {
+		s.reject(w, http.StatusBadRequest, "lanes must be in [0,%d], got %d", logic.MaxLanes, req.Lanes)
+		return
+	}
+	lanes := req.Lanes
+	if lanes == 0 {
+		lanes = logic.MaxLanes
+	}
+	if req.ProbeLane < 0 || req.ProbeLane >= lanes {
+		s.reject(w, http.StatusBadRequest, "probe_lane %d outside [0,%d)", req.ProbeLane, lanes)
+		return
+	}
 
 	circ, err := netlist.ReadLimited(strings.NewReader(req.Netlist), netlist.Limits{
 		MaxBytes: s.cfg.MaxBodyBytes,
@@ -287,17 +310,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := &job{
-		circ:     circ,
-		engine:   eng.Name(),
-		cores:    workers,
-		horizon:  circuit.Time(req.Horizon),
-		deadline: deadline,
-		watchdog: time.Duration(req.WatchdogMS) * time.Millisecond,
-		lint:     lint,
-		fallback: req.Fallback,
-		costSpin: req.CostSpin,
-		watch:    watch,
-		state:    jobQueued,
+		circ:       circ,
+		engine:     eng.Name(),
+		cores:      workers,
+		horizon:    circuit.Time(req.Horizon),
+		deadline:   deadline,
+		watchdog:   time.Duration(req.WatchdogMS) * time.Millisecond,
+		lint:       lint,
+		fallback:   req.Fallback,
+		costSpin:   req.CostSpin,
+		watch:      watch,
+		lanes:      req.Lanes,
+		laneStride: req.LaneStride,
+		probeLane:  req.ProbeLane,
+		state:      jobQueued,
 	}
 	if len(watch) > 0 {
 		j.rec = trace.NewRecorderFor(watch...)
@@ -448,11 +474,14 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	cfg := engine.Config{
-		Workers:  j.cores,
-		Horizon:  j.horizon,
-		CostSpin: j.costSpin,
-		Lint:     j.lint,
-		Watchdog: j.watchdog,
+		Workers:    j.cores,
+		Horizon:    j.horizon,
+		CostSpin:   j.costSpin,
+		Lint:       j.lint,
+		Watchdog:   j.watchdog,
+		Lanes:      j.lanes,
+		LaneStride: j.laneStride,
+		ProbeLane:  j.probeLane,
 	}
 	if j.rec != nil {
 		cfg.Probe = j.rec
@@ -485,6 +514,7 @@ func resultFromReport(rep *engine.Report) *parsim.Result {
 	return &parsim.Result{
 		Stats:     rep.Run,
 		Final:     rep.Final,
+		LaneFinal: rep.LaneFinal,
 		Messages:  tot.Messages,
 		Rollbacks: tot.Rollbacks,
 		Cancelled: tot.Cancelled,

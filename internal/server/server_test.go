@@ -497,6 +497,82 @@ func TestListJobs(t *testing.T) {
 }
 
 // TestJobNotFound pins the 404 shape.
+// TestBatchedVectorJob submits one vector-engine job with four stimulus
+// lanes and checks the per-lane results survive the JSON round trip:
+// lane_final comes back with one row per lane, each row as wide as the
+// netlist, and the probe lane's view equals the matching row.
+func TestBatchedVectorJob(t *testing.T) {
+	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 4})
+	var sub jobView
+	resp := ts.submit(t, jobRequest{
+		Netlist: testNetlist, Engine: "vector", Workers: 1, Horizon: 64,
+		Lanes: 4, LaneStride: 7, ProbeLane: 2,
+	}, &sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	v := ts.await(t, sub.ID, 10*time.Second)
+	if v.State != jobDone {
+		t.Fatalf("state %s (error %q)", v.State, v.Error)
+	}
+	if v.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if got := len(v.Result.LaneFinal); got != 4 {
+		t.Fatalf("lane_final rows = %d, want 4", got)
+	}
+	for lane, row := range v.Result.LaneFinal {
+		if len(row) != 4 { // clk, a, b, q
+			t.Fatalf("lane %d: %d nodes, want 4", lane, len(row))
+		}
+	}
+	// The ring has no rand/gray generators, so every lane sees the same
+	// stimulus and the probe lane must agree with its own row (and, here,
+	// with lane 0).
+	for n, want := range v.Result.LaneFinal[2] {
+		if v.Result.Final[n] != want {
+			t.Fatalf("node %d: final %v, probe-lane row has %v", n, v.Result.Final[n], want)
+		}
+	}
+
+	// Scalar engines ignore the batch fields and report no lane rows.
+	var plain jobView
+	ts.submit(t, jobRequest{Netlist: testNetlist, Engine: "compiled", Workers: 1, Horizon: 64, Lanes: 4}, &plain)
+	pv := ts.await(t, plain.ID, 10*time.Second)
+	if pv.State != jobDone {
+		t.Fatalf("compiled state %s (error %q)", pv.State, pv.Error)
+	}
+	if len(pv.Result.LaneFinal) != 0 {
+		t.Fatalf("compiled run reported %d lane rows", len(pv.Result.LaneFinal))
+	}
+}
+
+// TestBatchedAdmissionValidation covers the lane-field 400 paths.
+func TestBatchedAdmissionValidation(t *testing.T) {
+	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 4})
+	cases := []struct {
+		name string
+		req  jobRequest
+		msg  string
+	}{
+		{"lanes too wide", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 65}, "lanes"},
+		{"negative lanes", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: -1}, "lanes"},
+		{"probe lane out of range", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 4, ProbeLane: 4}, "probe_lane"},
+		{"negative probe lane", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, ProbeLane: -1}, "probe_lane"},
+	}
+	for _, tc := range cases {
+		var errBody errorBody
+		resp := ts.submit(t, tc.req, &errBody)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%q)", tc.name, resp.StatusCode, errBody.Error)
+			continue
+		}
+		if !strings.Contains(errBody.Error, tc.msg) {
+			t.Errorf("%s: body %q missing %q", tc.name, errBody.Error, tc.msg)
+		}
+	}
+}
+
 func TestJobNotFound(t *testing.T) {
 	ts := newTestServer(t, Config{CoreBudget: 1, MaxQueue: 2})
 	if code := ts.getJSON(t, "/v1/jobs/j-999999", nil); code != http.StatusNotFound {

@@ -1,0 +1,34 @@
+package vector
+
+import (
+	"context"
+
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+)
+
+type eng struct{}
+
+func (eng) Name() string { return "vector" }
+
+func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*engine.Report, error) {
+	res, err := RunContext(ctx, c, Options{
+		Workers:    cfg.Workers,
+		Horizon:    cfg.Horizon,
+		Probe:      cfg.Probe,
+		CostSpin:   cfg.CostSpin,
+		Strategy:   cfg.Strategy,
+		Guard:      cfg.Guard,
+		Lanes:      cfg.Lanes,
+		LaneStride: cfg.LaneStride,
+		ProbeLane:  cfg.ProbeLane,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return &engine.Report{Run: res.Run, Final: res.Final, LaneFinal: res.LaneFinal}, err
+}
+
+func init() {
+	engine.Register(eng{}, "batched", "bit-parallel")
+}

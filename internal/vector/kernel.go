@@ -1,0 +1,444 @@
+package vector
+
+import (
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// layout assigns every node a contiguous run of Planes in the double
+// buffer: node n's bit b lives at off[n]+b. The whole circuit state for 64
+// stimulus lanes is two flat []Plane arrays swept in levelized order.
+type layout struct {
+	off   []int32
+	total int
+}
+
+func newLayout(c *circuit.Circuit) layout {
+	off := make([]int32, len(c.Nodes))
+	n := int32(0)
+	for i := range c.Nodes {
+		off[i] = n
+		n += int32(c.Nodes[i].Width)
+	}
+	return layout{off: off, total: int(n)}
+}
+
+// span locates one node's planes.
+type span struct {
+	node circuit.NodeID
+	off  int32
+	w    int32
+}
+
+func (l layout) span(c *circuit.Circuit, n circuit.NodeID) span {
+	return span{node: n, off: l.off[n], w: int32(c.Nodes[n].Width)}
+}
+
+// kernel is one element compiled to a plane-op routine: run reads input
+// planes from cur and writes every output plane in next, for all lanes at
+// once. Kernels with internal state (DFF, latch, RAM) own it via closure;
+// each element belongs to exactly one partition, so exactly one worker
+// ever runs its kernel.
+type kernel struct {
+	eid  circuit.ElemID
+	cost int64
+	outs []span
+	run  func(cur, next []logic.Plane)
+}
+
+// compileElem translates one element into its plane-op kernel. Gate,
+// mux/register, wiring, comparison and adder kinds get true bit-parallel
+// kernels; the handful of table-driven kinds (mul, alu, rom, ram) fall
+// back to per-lane scalar evaluation behind the same interface.
+func compileElem(c *circuit.Circuit, el *circuit.Element, lay layout, lanes int) kernel {
+	k := kernel{eid: el.ID, cost: el.Cost}
+	for _, n := range el.Out {
+		k.outs = append(k.outs, lay.span(c, n))
+	}
+	ins := make([]span, len(el.In))
+	for i, n := range el.In {
+		ins[i] = lay.span(c, n)
+	}
+	out := int(lay.off[el.Out[0]])
+	w := c.Nodes[el.Out[0]].Width
+
+	switch el.Kind {
+	case circuit.KindBuf:
+		k.run = compileGate(ins, out, w, logic.PlaneOr, false)
+	case circuit.KindNot:
+		k.run = compileGate(ins, out, w, logic.PlaneOr, true)
+	case circuit.KindAnd:
+		k.run = compileGate(ins, out, w, logic.PlaneAnd, false)
+	case circuit.KindNand:
+		k.run = compileGate(ins, out, w, logic.PlaneAnd, true)
+	case circuit.KindOr:
+		k.run = compileGate(ins, out, w, logic.PlaneOr, false)
+	case circuit.KindNor:
+		k.run = compileGate(ins, out, w, logic.PlaneOr, true)
+	case circuit.KindXor:
+		k.run = compileGate(ins, out, w, logic.PlaneXor, false)
+	case circuit.KindXnor:
+		k.run = compileGate(ins, out, w, logic.PlaneXor, true)
+
+	case circuit.KindMux2:
+		sel, a, b := int(ins[0].off), int(ins[1].off), int(ins[2].off)
+		k.run = func(cur, next []logic.Plane) {
+			s := cur[sel]
+			for i := 0; i < w; i++ {
+				next[out+i] = logic.PlaneMux(s, cur[a+i], cur[b+i])
+			}
+		}
+
+	case circuit.KindDFF:
+		clk, d := int(ins[0].off), int(ins[1].off)
+		prevClk := logic.PlaneBroadcast(logic.X)
+		q := broadcastRow(logic.X, w)
+		k.run = func(cur, next []logic.Plane) {
+			c := cur[clk]
+			edge := prevClk.LMask() & c.HMask()
+			prevClk = c
+			for i := 0; i < w; i++ {
+				q[i] = logic.PlaneSelect(edge, cur[d+i].Readable(), q[i])
+				next[out+i] = q[i]
+			}
+		}
+
+	case circuit.KindDFFR:
+		clk, rst, d := int(ins[0].off), int(ins[1].off), int(ins[2].off)
+		prevClk := logic.PlaneBroadcast(logic.X)
+		q := broadcastRow(logic.X, w)
+		initRow := make([]logic.Plane, w)
+		logic.BroadcastValue(initRow, el.Params.Init)
+		k.run = func(cur, next []logic.Plane) {
+			c := cur[clk]
+			edge := prevClk.LMask() & c.HMask()
+			prevClk = c
+			rstH := cur[rst].HMask()
+			for i := 0; i < w; i++ {
+				qi := logic.PlaneSelect(edge, cur[d+i].Readable(), q[i])
+				qi = logic.PlaneSelect(rstH, initRow[i], qi)
+				q[i] = qi
+				next[out+i] = qi
+			}
+		}
+
+	case circuit.KindLatch:
+		en, d := int(ins[0].off), int(ins[1].off)
+		q := broadcastRow(logic.X, w)
+		k.run = func(cur, next []logic.Plane) {
+			enH := cur[en].HMask()
+			for i := 0; i < w; i++ {
+				q[i] = logic.PlaneSelect(enH, cur[d+i].Readable(), q[i])
+				next[out+i] = q[i]
+			}
+		}
+
+	case circuit.KindTri:
+		en, a := int(ins[0].off), int(ins[1].off)
+		k.run = func(cur, next []logic.Plane) {
+			e := cur[en].Readable()
+			enH, enL := e.HMask(), e.LMask()
+			enX := ^(enH | enL)
+			for i := 0; i < w; i++ {
+				r := cur[a+i].Readable()
+				next[out+i] = logic.Plane{
+					V: r.V&enH | enL,
+					U: r.U&enH | enL | enX,
+				}
+			}
+		}
+
+	case circuit.KindRes2:
+		a, b := int(ins[0].off), int(ins[1].off)
+		k.run = func(cur, next []logic.Plane) {
+			for i := 0; i < w; i++ {
+				next[out+i] = logic.PlaneResolve(cur[a+i], cur[b+i])
+			}
+		}
+
+	case circuit.KindEq:
+		a, b := int(ins[0].off), int(ins[1].off)
+		aw := int(ins[0].w)
+		k.run = func(cur, next []logic.Plane) {
+			diff, allKnown := uint64(0), ^uint64(0)
+			for i := 0; i < aw; i++ {
+				ra, rb := cur[a+i].Readable(), cur[b+i].Readable()
+				known := ^(ra.U | rb.U)
+				diff |= (ra.V ^ rb.V) & known
+				allKnown &= known
+			}
+			next[out] = logic.Plane{V: allKnown &^ diff, U: ^(diff | allKnown)}
+		}
+
+	case circuit.KindLtU:
+		a, b := int(ins[0].off), int(ins[1].off)
+		aw := int(ins[0].w)
+		k.run = func(cur, next []logic.Plane) {
+			// MSB-first ripple compare; lanes with any unknown bit poison
+			// to X, matching the scalar Uint()-based evaluation.
+			unk, lt, eq := uint64(0), uint64(0), ^uint64(0)
+			for i := aw - 1; i >= 0; i-- {
+				ra, rb := cur[a+i].Readable(), cur[b+i].Readable()
+				unk |= ra.U | rb.U
+				lt |= eq & ^ra.V & rb.V
+				eq &= ^(ra.V ^ rb.V)
+			}
+			next[out] = logic.Plane{V: lt &^ unk, U: unk}
+		}
+
+	case circuit.KindAdd:
+		k.run = compileAdd(ins, out, w, false, -1)
+	case circuit.KindSub:
+		k.run = compileAdd(ins, out, w, true, -1)
+	case circuit.KindAddC:
+		coutOff := int(lay.off[el.Out[1]])
+		k.run = compileAdd(ins, out, w, false, coutOff)
+
+	case circuit.KindSlice:
+		a := int(ins[0].off) + el.Params.Lo
+		k.run = copyPlanes(a, out, w)
+	case circuit.KindExt:
+		a, aw := int(ins[0].off), int(ins[0].w)
+		k.run = func(cur, next []logic.Plane) {
+			n := w
+			if aw < n {
+				n = aw
+			}
+			for i := 0; i < n; i++ {
+				next[out+i] = cur[a+i]
+			}
+			for i := n; i < w; i++ {
+				next[out+i] = logic.Plane{}
+			}
+		}
+	case circuit.KindConcat:
+		lo, hi := int(ins[0].off), int(ins[1].off)
+		low := int(ins[0].w)
+		k.run = func(cur, next []logic.Plane) {
+			for i := 0; i < low; i++ {
+				next[out+i] = cur[lo+i]
+			}
+			for i := low; i < w; i++ {
+				next[out+i] = cur[hi+i-low]
+			}
+		}
+	case circuit.KindShlK:
+		a := int(ins[0].off)
+		sh := el.Params.Shift
+		k.run = func(cur, next []logic.Plane) {
+			for i := w - 1; i >= sh; i-- {
+				next[out+i] = cur[a+i-sh]
+			}
+			top := sh
+			if top > w {
+				top = w
+			}
+			for i := 0; i < top; i++ {
+				next[out+i] = logic.Plane{}
+			}
+		}
+	case circuit.KindShrK:
+		a := int(ins[0].off)
+		sh := el.Params.Shift
+		k.run = func(cur, next []logic.Plane) {
+			for i := 0; i < w-sh; i++ {
+				next[out+i] = cur[a+i+sh]
+			}
+			from := w - sh
+			if from < 0 {
+				from = 0
+			}
+			for i := from; i < w; i++ {
+				next[out+i] = logic.Plane{}
+			}
+		}
+
+	case circuit.KindRedAnd:
+		a, aw := int(ins[0].off), int(ins[0].w)
+		k.run = func(cur, next []logic.Plane) {
+			someL, anyU := uint64(0), uint64(0)
+			for i := 0; i < aw; i++ {
+				r := cur[a+i].Readable()
+				someL |= r.LMask()
+				anyU |= r.U
+			}
+			next[out] = logic.Plane{V: ^(someL | anyU), U: anyU &^ someL}
+		}
+	case circuit.KindRedOr:
+		a, aw := int(ins[0].off), int(ins[0].w)
+		k.run = func(cur, next []logic.Plane) {
+			someH, anyU := uint64(0), uint64(0)
+			for i := 0; i < aw; i++ {
+				r := cur[a+i].Readable()
+				someH |= r.HMask()
+				anyU |= r.U
+			}
+			next[out] = logic.Plane{V: someH, U: anyU &^ someH}
+		}
+	case circuit.KindRedXor:
+		a, aw := int(ins[0].off), int(ins[0].w)
+		k.run = func(cur, next []logic.Plane) {
+			par, anyU := uint64(0), uint64(0)
+			for i := 0; i < aw; i++ {
+				r := cur[a+i].Readable()
+				par ^= r.V
+				anyU |= r.U
+			}
+			next[out] = logic.Plane{V: par &^ anyU, U: anyU}
+		}
+
+	default:
+		// Table-driven kinds (mul, alu, rom, ram): per-lane scalar
+		// evaluation with per-lane element state. Correct for every kind,
+		// at scalar speed — the batch still amortises scheduling.
+		k.run = compileScalar(el, ins, k.outs, lanes)
+	}
+	return k
+}
+
+func broadcastRow(s logic.State, w int) []logic.Plane {
+	row := make([]logic.Plane, w)
+	p := logic.PlaneBroadcast(s)
+	for i := range row {
+		row[i] = p
+	}
+	return row
+}
+
+func copyPlanes(src, dst, w int) func(cur, next []logic.Plane) {
+	return func(cur, next []logic.Plane) {
+		for i := 0; i < w; i++ {
+			next[dst+i] = cur[src+i]
+		}
+	}
+}
+
+// compileGate folds a binary plane op across the inputs per bit column,
+// exactly as circuit.evalFold does with scalar values: single-input gates
+// fold with an all-L operand (the Or identity) so buf and not normalise
+// X/Z the same way the scalar registry does.
+func compileGate(ins []span, out, w int, op func(a, b logic.Plane) logic.Plane, invert bool) func(cur, next []logic.Plane) {
+	offs := make([]int, len(ins))
+	for i, sp := range ins {
+		offs[i] = int(sp.off)
+	}
+	single := len(offs) == 1
+	return func(cur, next []logic.Plane) {
+		for i := 0; i < w; i++ {
+			acc := cur[offs[0]+i]
+			if single {
+				acc = op(acc, logic.Plane{})
+			}
+			for _, o := range offs[1:] {
+				acc = op(acc, cur[o+i])
+			}
+			if invert {
+				acc = logic.PlaneNot(acc)
+			}
+			next[out+i] = acc
+		}
+	}
+}
+
+// compileAdd builds ripple-carry addition (or subtraction via two's
+// complement) over the bit columns. Lanes with any unknown input bit
+// poison the whole result to X — the scalar Add/Sub/AddCarry semantics.
+// coutOff >= 0 selects the three-input addc form with a carry output.
+func compileAdd(ins []span, out, w int, sub bool, coutOff int) func(cur, next []logic.Plane) {
+	a, b := int(ins[0].off), int(ins[1].off)
+	cin := -1
+	if coutOff >= 0 {
+		cin = int(ins[2].off)
+	}
+	return func(cur, next []logic.Plane) {
+		var unk uint64
+		for i := 0; i < w; i++ {
+			unk |= cur[a+i].Readable().U | cur[b+i].Readable().U
+		}
+		carry := uint64(0)
+		if sub {
+			carry = ^uint64(0)
+		}
+		if cin >= 0 {
+			r := cur[cin].Readable()
+			unk |= r.U
+			carry = r.V
+		}
+		for i := 0; i < w; i++ {
+			av := cur[a+i].Readable().V
+			bv := cur[b+i].Readable().V
+			if sub {
+				bv = ^bv
+			}
+			sum := av ^ bv ^ carry
+			carry = av&bv | carry&(av^bv)
+			next[out+i] = logic.Plane{V: sum &^ unk, U: unk}
+		}
+		if coutOff >= 0 {
+			next[coutOff] = logic.Plane{V: carry &^ unk, U: unk}
+		}
+	}
+}
+
+// compileScalar is the per-lane fallback: unpack each lane's inputs into
+// scalar Values, run the element's registry eval with that lane's own
+// state, and pack the outputs back. One worker owns the kernel, so the
+// scratch buffers and per-lane state race with nobody.
+func compileScalar(el *circuit.Element, ins []span, outs []span, lanes int) func(cur, next []logic.Plane) {
+	states := make([][]logic.Value, lanes)
+	if n := el.NumStateVals(); n > 0 {
+		for l := range states {
+			states[l] = make([]logic.Value, n)
+			el.InitState(states[l])
+		}
+	}
+	in := make([]logic.Value, len(ins))
+	out := make([]logic.Value, len(outs))
+	return func(cur, next []logic.Plane) {
+		for l := 0; l < lanes; l++ {
+			for i, sp := range ins {
+				in[i] = logic.ExtractLane(cur[sp.off:sp.off+sp.w], l, int(sp.w))
+			}
+			el.Eval(in, states[l], out)
+			for i, sp := range outs {
+				logic.PackLane(next[sp.off:sp.off+sp.w], l, out[i])
+			}
+		}
+	}
+}
+
+// genKernel is one stimulus generator: clock/wave/const outputs are lane-
+// invariant and broadcast; rand/gray get one per-lane element copy whose
+// Seed is offset by the lane stride, so each lane replays an independent
+// stimulus vector (lane 0 keeps the original seed and is bit-identical to
+// a scalar run).
+type genKernel struct {
+	el      *circuit.Element
+	out     span
+	perLane []circuit.Element
+}
+
+func compileGen(c *circuit.Circuit, el *circuit.Element, lay layout, lanes int, stride int64) genKernel {
+	g := genKernel{el: el, out: lay.span(c, el.Out[0])}
+	if (el.Kind == circuit.KindRand || el.Kind == circuit.KindGray) && lanes > 1 && stride != 0 {
+		g.perLane = make([]circuit.Element, lanes)
+		for l := range g.perLane {
+			cp := *el
+			cp.Params.Seed += stride * int64(l)
+			g.perLane[l] = cp
+		}
+	}
+	return g
+}
+
+// write evaluates the generator at time t into the destination buffer.
+func (g *genKernel) write(t circuit.Time, dst []logic.Plane) {
+	o, w := int(g.out.off), int(g.out.w)
+	if g.perLane == nil {
+		logic.BroadcastValue(dst[o:o+w], g.el.GenValueAt(t))
+		return
+	}
+	for l := range g.perLane {
+		logic.PackLane(dst[o:o+w], l, g.perLane[l].GenValueAt(t))
+	}
+}

@@ -1,0 +1,308 @@
+// Package vector implements a bit-parallel batched compiled-mode simulator:
+// up to 64 independent stimulus lanes advance through the same circuit
+// simultaneously, one lane per bit of a machine word. Node state is a pair
+// of bit planes (value/unknown), every element is compiled to a plane-op
+// kernel that evaluates all lanes with a handful of word-wide boolean
+// instructions, and the step loop is the same statically partitioned,
+// barrier-per-step structure as the scalar compiled engine. Lane 0 replays
+// the scalar stimulus bit for bit; the remaining lanes carry seed-shifted
+// variants, so one run answers "what do 64 stimulus vectors do" for roughly
+// the cost of one scalar run.
+package vector
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsim/internal/analyze"
+	"parsim/internal/barrier"
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+	"parsim/internal/guard"
+	"parsim/internal/logic"
+	"parsim/internal/partition"
+	"parsim/internal/stats"
+	"parsim/internal/trace"
+)
+
+// Options configures a batched run.
+type Options struct {
+	Workers  int          // parallel workers; >= 1
+	Horizon  circuit.Time // simulate unit-delay steps t in [0, Horizon)
+	Probe    trace.Probe  // optional observer of lane ProbeLane; concurrency-safe
+	CostSpin int64        // if > 0, burn CostSpin x element Cost per evaluation
+	Strategy partition.Strategy
+	Guard    *guard.Supervisor
+
+	// Lanes is the number of live stimulus lanes (1..logic.MaxLanes;
+	// 0 defaults to the full 64).
+	Lanes int
+	// LaneStride offsets rand/gray generator seeds per lane: lane k runs
+	// with Seed + k*LaneStride. 0 defaults to 1. Lane 0 always keeps the
+	// original seed and is bit-identical to a scalar run.
+	LaneStride int64
+	// ProbeLane selects the lane Probe observes and Final reports
+	// (default 0, the scalar-identical lane). Must be < Lanes.
+	ProbeLane int
+}
+
+// Result is the outcome of a batched run.
+type Result struct {
+	Run stats.Run
+	// Final holds lane ProbeLane's node values after the last step — the
+	// same shape every scalar engine reports.
+	Final []logic.Value
+	// LaneFinal holds every lane's final node values: LaneFinal[k][n] is
+	// node n as lane k saw it.
+	LaneFinal [][]logic.Value
+}
+
+type sim struct {
+	c    *circuit.Circuit
+	opts Options
+	p    int
+
+	lay      layout
+	laneMask uint64
+
+	buf   [2][]logic.Plane // double-buffered node planes
+	parts [][]kernel       // per-worker kernels in level order
+	gens  [][]genKernel    // per-worker generator kernels
+	bar   *barrier.Barrier
+
+	wc     []stats.WorkerCounters
+	cancel *engine.CancelFlag
+	chaos  *guard.ChaosProbe
+	// stopAt, when > 0, is the step at which every worker exits. Worker 0
+	// publishes it during step stopAt-1; the step barrier makes the write
+	// visible to all workers before any of them reaches step stopAt.
+	stopAt atomic.Int64
+}
+
+// Run simulates the circuit in batched compiled mode.
+func Run(c *circuit.Circuit, opts Options) (*Result, error) {
+	return RunContext(context.Background(), c, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled all workers
+// stop together at the next time step and the partial result is returned
+// with ctx.Err().
+func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
+	if err := engine.ValidateWorkers(opts.Workers); err != nil {
+		return nil, err
+	}
+	if opts.Lanes == 0 {
+		opts.Lanes = logic.MaxLanes
+	}
+	if opts.Lanes < 1 || opts.Lanes > logic.MaxLanes {
+		return nil, fmt.Errorf("vector: lanes %d out of range [1,%d]", opts.Lanes, logic.MaxLanes)
+	}
+	if opts.LaneStride == 0 {
+		opts.LaneStride = 1
+	}
+	if opts.ProbeLane < 0 || opts.ProbeLane >= opts.Lanes {
+		return nil, fmt.Errorf("vector: probe lane %d outside [0,%d)", opts.ProbeLane, opts.Lanes)
+	}
+	p := opts.Workers
+	s := &sim{
+		c:        c,
+		opts:     opts,
+		p:        p,
+		lay:      newLayout(c),
+		laneMask: laneMask(opts.Lanes),
+		bar:      barrier.New(p),
+		wc:       make([]stats.WorkerCounters, p),
+		cancel:   engine.WatchCancel(ctx),
+		chaos:    opts.Guard.Chaos(),
+	}
+	defer s.cancel.Release()
+	opts.Guard.OnTrip(s.bar.Abort)
+
+	// The same static partitions every scalar engine uses, swept in
+	// levelized order so each worker's kernel list walks the node arrays
+	// in dependency depth order.
+	parts := partition.Split(c, p, opts.Strategy)
+	analyze.OrderByLevel(parts, analyze.LevelSchedule(c))
+	s.parts = make([][]kernel, p)
+	for w, part := range parts {
+		s.parts[w] = make([]kernel, 0, len(part))
+		for _, eid := range part {
+			s.parts[w] = append(s.parts[w], compileElem(c, &c.Elems[eid], s.lay, opts.Lanes))
+		}
+	}
+	s.gens = make([][]genKernel, p)
+	for i, g := range c.Generators() {
+		w := i % p
+		s.gens[w] = append(s.gens[w], compileGen(c, &c.Elems[g], s.lay, opts.Lanes, opts.LaneStride))
+	}
+
+	for side := range s.buf {
+		s.buf[side] = make([]logic.Plane, s.lay.total)
+		allX := logic.PlaneBroadcast(logic.X)
+		for i := range s.buf[side] {
+			s.buf[side][i] = allX
+		}
+	}
+	// Generators assume their t=0 values before the first step, mirroring
+	// the scalar engine: both buffer sides start consistent, the probe sees
+	// lane ProbeLane, and a change in any live lane counts one update.
+	for w := range s.gens {
+		for i := range s.gens[w] {
+			g := &s.gens[w][i]
+			g.write(0, s.buf[0])
+			o, wd := int(g.out.off), int(g.out.w)
+			var changed uint64
+			for b := 0; b < wd; b++ {
+				cv, nv := s.buf[1][o+b], s.buf[0][o+b]
+				changed |= (cv.V ^ nv.V) | (cv.U ^ nv.U)
+			}
+			changed &= s.laneMask
+			if changed == 0 {
+				continue
+			}
+			copy(s.buf[1][o:o+wd], s.buf[0][o:o+wd])
+			s.wc[0].NodeUpdates++
+			if opts.Probe != nil && changed>>uint(opts.ProbeLane)&1 != 0 {
+				opts.Probe.OnChange(g.out.node, 0,
+					logic.ExtractLane(s.buf[0][o:o+wd], opts.ProbeLane, wd))
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer opts.Guard.Recover(w, "vector step loop")
+			s.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	steps := int64(opts.Horizon)
+	planes := s.buf[int(opts.Horizon-1)&1]
+	if opts.Horizon <= 0 {
+		planes = s.buf[0]
+	}
+	if sa := s.stopAt.Load(); sa > 0 && circuit.Time(sa) < opts.Horizon-1 {
+		steps = sa + 1
+		planes = s.buf[int(sa)&1]
+	}
+	res := &Result{
+		Final:     s.extractLane(planes, opts.ProbeLane),
+		LaneFinal: make([][]logic.Value, opts.Lanes),
+	}
+	for l := 0; l < opts.Lanes; l++ {
+		res.LaneFinal[l] = s.extractLane(planes, l)
+	}
+	res.Run = stats.Run{
+		Algorithm: fmt.Sprintf("vector(%s)x%d", opts.Strategy, opts.Lanes),
+		Circuit:   c.Name,
+		Horizon:   opts.Horizon,
+		Workers:   p,
+		TimeSteps: steps,
+	}
+	for w := 0; w < p; w++ {
+		s.wc[w].ModelCalls = s.wc[w].Evals
+	}
+	res.Run.Aggregate(wall, s.wc)
+	return res, s.cancel.Err(ctx)
+}
+
+func laneMask(lanes int) uint64 {
+	if lanes >= logic.MaxLanes {
+		return ^uint64(0)
+	}
+	return 1<<uint(lanes) - 1
+}
+
+func (s *sim) extractLane(planes []logic.Plane, lane int) []logic.Value {
+	vals := make([]logic.Value, len(s.c.Nodes))
+	for n := range s.c.Nodes {
+		w := s.c.Nodes[n].Width
+		o := int(s.lay.off[n])
+		vals[n] = logic.ExtractLane(planes[o:o+w], lane, w)
+	}
+	return vals
+}
+
+func (s *sim) worker(id int) {
+	var sense barrier.Sense
+	var idle time.Duration
+	defer func() { s.wc[id].Idle = idle }()
+
+	gens := s.gens[id]
+	kernels := s.parts[id]
+
+	// Step t computes node planes for t+1: read side t&1, write side
+	// (t+1)&1. The final step is Horizon-2 -> values at Horizon-1.
+	for t := circuit.Time(0); t < s.opts.Horizon-1; t++ {
+		if sa := s.stopAt.Load(); sa > 0 && t >= circuit.Time(sa) {
+			return
+		}
+		if id == 0 {
+			s.opts.Guard.Progress(int64(t))
+			if s.cancel.Cancelled() {
+				s.stopAt.CompareAndSwap(0, int64(t)+1)
+			}
+		}
+		cur := s.buf[t&1]
+		next := s.buf[(t+1)&1]
+
+		for i := range gens {
+			g := &gens[i]
+			g.write(t+1, next)
+			s.noteSpan(id, g.out, t+1, cur, next)
+		}
+		for i := range kernels {
+			k := &kernels[i]
+			s.wc[id].Evals++
+			if s.chaos != nil {
+				s.chaos.Eval()
+			}
+			k.run(cur, next)
+			if s.opts.CostSpin > 0 {
+				circuit.Spin(k.cost * s.opts.CostSpin)
+			}
+			for _, sp := range k.outs {
+				s.noteSpan(id, sp, t+1, cur, next)
+			}
+		}
+
+		t0 := time.Now()
+		s.wc[id].BarrierWaits++
+		ok := s.bar.Wait(&sense)
+		idle += time.Since(t0)
+		if !ok {
+			return
+		}
+	}
+}
+
+// noteSpan compares one output node's planes across the buffer sides,
+// counting a node update when any live lane changed and firing the probe
+// when the observed lane did. Only the node's single driver calls this for
+// a given span, so the counters race with nobody.
+func (s *sim) noteSpan(id int, sp span, t circuit.Time, cur, next []logic.Plane) {
+	o, w := int(sp.off), int(sp.w)
+	var changed uint64
+	for b := 0; b < w; b++ {
+		cv, nv := cur[o+b], next[o+b]
+		changed |= (cv.V ^ nv.V) | (cv.U ^ nv.U)
+	}
+	changed &= s.laneMask
+	if changed == 0 {
+		return
+	}
+	s.wc[id].NodeUpdates++
+	if s.opts.Probe != nil && changed>>uint(s.opts.ProbeLane)&1 != 0 {
+		s.opts.Probe.OnChange(sp.node, t,
+			logic.ExtractLane(next[o:o+w], s.opts.ProbeLane, w))
+	}
+}

@@ -42,7 +42,7 @@ func buildZeroDelayRing(t *testing.T) *Circuit {
 // already enough; LintStrict must refuse too.
 func TestLintRefusesZeroDelayRingAllEngines(t *testing.T) {
 	algos := []Algorithm{
-		Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra,
+		Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector,
 	}
 	if got := len(engine.Names()); got != len(algos) {
 		t.Fatalf("registry has %d engines (%v), test covers %d — keep them in sync",

@@ -64,6 +64,7 @@ import (
 	_ "parsim/internal/parevent"
 	_ "parsim/internal/seq"
 	_ "parsim/internal/timewarp"
+	_ "parsim/internal/vector"
 )
 
 // Core value and netlist types, re-exported from the implementation
@@ -210,6 +211,12 @@ const (
 	// contribution is exactly the incremental valid-time advancement that
 	// makes these deadlocks impossible; Result.Rounds counts them.
 	ChandyMisra
+	// Vector is the bit-parallel batched compiled-mode algorithm: up to 64
+	// independent stimulus lanes advance through the circuit simultaneously,
+	// one lane per bit of a machine word, with every element compiled to a
+	// word-wide plane-op kernel. Lane 0 replays the scalar stimulus exactly;
+	// Options.Lanes/LaneStride/ProbeLane control the batch.
+	Vector
 )
 
 // String returns the algorithm name.
@@ -229,6 +236,8 @@ func (a Algorithm) String() string {
 		return "time-warp"
 	case ChandyMisra:
 		return "chandy-misra"
+	case Vector:
+		return "vector"
 	}
 	return "unknown"
 }
@@ -258,6 +267,16 @@ type Options struct {
 	// optimisation: events behind a pinned AND/NAND/OR/NOR input are
 	// consumed without evaluating the gate model.
 	GateLookahead bool
+	// Lanes is the number of independent stimulus vectors a Vector run
+	// packs into each machine word (1..64; 0 defaults to 64). LaneStride
+	// offsets rand/gray generator seeds per lane (lane k runs with
+	// Seed + k*LaneStride; 0 defaults to 1), and ProbeLane selects which
+	// lane feeds Probe and Result.Final (default 0, the lane whose
+	// stimulus — and therefore whose history — is bit-identical to a
+	// scalar run). The scalar algorithms ignore all three.
+	Lanes      int
+	LaneStride int64
+	ProbeLane  int
 	// Lint selects the pre-flight static analysis applied before any
 	// algorithm runs: LintOff (default), LintWarn (refuse circuits with
 	// Error diagnostics such as zero-delay combinational cycles), or
@@ -282,7 +301,11 @@ type Options struct {
 type Result struct {
 	Stats RunStats
 	// Final holds each node's value at the horizon, indexed by NodeID.
+	// For a Vector run this is lane ProbeLane's view.
 	Final []Value
+	// LaneFinal holds every lane's final node values (Vector only):
+	// LaneFinal[k][n] is node n at the horizon as stimulus lane k saw it.
+	LaneFinal [][]Value
 	// Messages counts inter-worker messages (DistAsync only).
 	Messages int64
 	// Rollbacks, Cancelled and PeakLog quantify optimistic execution
@@ -344,6 +367,9 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		Watchdog:      opts.Watchdog,
 		Fallback:      fallback,
 		Chaos:         opts.Chaos,
+		Lanes:         opts.Lanes,
+		LaneStride:    opts.LaneStride,
+		ProbeLane:     opts.ProbeLane,
 	})
 	if rep == nil {
 		return nil, err
@@ -352,6 +378,7 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 	return &Result{
 		Stats:     rep.Run,
 		Final:     rep.Final,
+		LaneFinal: rep.LaneFinal,
 		Messages:  tot.Messages,
 		Rollbacks: tot.Rollbacks,
 		Cancelled: tot.Cancelled,

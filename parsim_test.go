@@ -24,7 +24,7 @@ func buildBlinker(t *testing.T) *Circuit {
 func TestAllAlgorithmsAgree(t *testing.T) {
 	c := RandomUnitCircuit(3, 60)
 	var ref *Recorder
-	for _, alg := range []Algorithm{Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra} {
+	for _, alg := range []Algorithm{Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector} {
 		rec := NewRecorder()
 		opts := Options{Algorithm: alg, Horizon: 200, Probe: rec, Workers: 2}
 		if alg == Sequential {
@@ -81,7 +81,7 @@ func TestAlgorithmNames(t *testing.T) {
 		Sequential: "sequential", EventDriven: "event-driven",
 		Compiled: "compiled", Async: "asynchronous",
 		DistAsync: "distributed-async", TimeWarp: "time-warp",
-		ChandyMisra: "chandy-misra", Algorithm(99): "unknown",
+		ChandyMisra: "chandy-misra", Vector: "vector", Algorithm(99): "unknown",
 	}
 	for a, want := range names {
 		if a.String() != want {
@@ -243,7 +243,7 @@ func TestExperimentFacade(t *testing.T) {
 // property: on randomized unit-delay circuits, every algorithm in the
 // library produces the same node histories.
 func TestQuickAllAlgorithmsOnRandomCircuits(t *testing.T) {
-	algs := []Algorithm{EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra}
+	algs := []Algorithm{EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector}
 	for seed := int64(100); seed < 105; seed++ {
 		c := RandomUnitCircuit(seed, 50+int(seed%3)*20)
 		horizon := Time(150 + seed%5*30)

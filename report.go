@@ -22,7 +22,7 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	if err != nil {
 		return Sequential, err
 	}
-	for a := Sequential; a <= ChandyMisra; a++ {
+	for a := Sequential; a <= Vector; a++ {
 		if a.String() == e.Name() {
 			return a, nil
 		}
@@ -35,15 +35,16 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 // node values serialise as Verilog-style literals ("4'b10xz"); the fault,
 // if any, as its message.
 type resultJSON struct {
-	Stats     RunStats `json:"stats"`
-	Final     []string `json:"final,omitempty"`
-	Messages  int64    `json:"messages,omitempty"`
-	Rollbacks int64    `json:"rollbacks,omitempty"`
-	Cancelled int64    `json:"cancelled,omitempty"`
-	PeakLog   int64    `json:"peak_log,omitempty"`
-	Rounds    int64    `json:"rounds,omitempty"`
-	Degraded  bool     `json:"degraded,omitempty"`
-	Fault     string   `json:"fault,omitempty"`
+	Stats     RunStats   `json:"stats"`
+	Final     []string   `json:"final,omitempty"`
+	LaneFinal [][]string `json:"lane_final,omitempty"`
+	Messages  int64      `json:"messages,omitempty"`
+	Rollbacks int64      `json:"rollbacks,omitempty"`
+	Cancelled int64      `json:"cancelled,omitempty"`
+	PeakLog   int64      `json:"peak_log,omitempty"`
+	Rounds    int64      `json:"rounds,omitempty"`
+	Degraded  bool       `json:"degraded,omitempty"`
+	Fault     string     `json:"fault,omitempty"`
 }
 
 // MarshalJSON serialises the result to the stable run-report schema.
@@ -61,12 +62,12 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		out.Fault = r.Fault.Error()
 	}
 	if len(r.Final) > 0 {
-		out.Final = make([]string, len(r.Final))
-		for i, v := range r.Final {
-			if v.Width() == 0 {
-				continue // unset slot serialises as "", parses back to the zero Value
-			}
-			out.Final[i] = v.String()
+		out.Final = encodeValues(r.Final)
+	}
+	if len(r.LaneFinal) > 0 {
+		out.LaneFinal = make([][]string, len(r.LaneFinal))
+		for l, vals := range r.LaneFinal {
+			out.LaneFinal[l] = encodeValues(vals)
 		}
 	}
 	return json.Marshal(out)
@@ -94,17 +95,49 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		r.Fault = errors.New(in.Fault)
 	}
 	if len(in.Final) > 0 {
-		r.Final = make([]Value, len(in.Final))
-		for i, s := range in.Final {
-			if s == "" {
-				continue
-			}
-			v, err := logic.ParseValue(s)
+		vals, err := decodeValues(in.Final)
+		if err != nil {
+			return fmt.Errorf("parsim: final: %w", err)
+		}
+		r.Final = vals
+	}
+	if len(in.LaneFinal) > 0 {
+		r.LaneFinal = make([][]Value, len(in.LaneFinal))
+		for l, strs := range in.LaneFinal {
+			vals, err := decodeValues(strs)
 			if err != nil {
-				return fmt.Errorf("parsim: final value %d: %w", i, err)
+				return fmt.Errorf("parsim: lane %d final: %w", l, err)
 			}
-			r.Final[i] = v
+			r.LaneFinal[l] = vals
 		}
 	}
 	return nil
+}
+
+// encodeValues serialises node values as Verilog-style literals; an unset
+// slot serialises as "" and parses back to the zero Value.
+func encodeValues(vals []Value) []string {
+	strs := make([]string, len(vals))
+	for i, v := range vals {
+		if v.Width() == 0 {
+			continue
+		}
+		strs[i] = v.String()
+	}
+	return strs
+}
+
+func decodeValues(strs []string) ([]Value, error) {
+	vals := make([]Value, len(strs))
+	for i, s := range strs {
+		if s == "" {
+			continue
+		}
+		v, err := logic.ParseValue(s)
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
 }

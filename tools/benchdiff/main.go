@@ -1,0 +1,147 @@
+// Command benchdiff compares two benchmark snapshots written by
+// `figures -json` (the jsonDoc schema: mode, quick, figures with raw
+// series) and fails when any shared data point drifts outside tolerance.
+// It is the regression gate behind `make bench-diff`: regenerate the
+// quick snapshot, diff it against the tracked BENCH_baseline.json, and
+// let CI refuse silent performance or model changes.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff [-tol 0.15] [-abs 0.05] baseline.json current.json
+//
+// Points are matched by (figure ID, series name, X value). A point
+// passes when |cur-base| <= abs, or when the symmetric relative error
+// |cur-base| / max(|cur|,|base|) is within tol. Points present on only
+// one side are reported as structural drift and fail the diff, except
+// that figures present only in the baseline are ignored (the current
+// file may have been generated for a subset of experiments).
+//
+// Exit status: 0 clean, 1 drift found, 2 usage or parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// snapshot mirrors cmd/figures' jsonDoc closely enough to decode it; the
+// two commands stay decoupled so the diff tool never drags engine code in.
+type snapshot struct {
+	Mode    string `json:"mode"`
+	Quick   bool   `json:"quick"`
+	Figures []struct {
+		ID     string `json:"ID"`
+		Series []struct {
+			Name string    `json:"Name"`
+			X    []float64 `json:"X"`
+			Y    []float64 `json:"Y"`
+		} `json:"Series"`
+	} `json:"figures"`
+}
+
+// key addresses one data point across snapshots.
+type key struct {
+	fig, series string
+	x           float64
+}
+
+func load(path string) (map[key]float64, *snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc snapshot
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	pts := make(map[key]float64)
+	for _, f := range doc.Figures {
+		for _, s := range f.Series {
+			if len(s.X) != len(s.Y) {
+				return nil, nil, fmt.Errorf("%s: %s/%s: %d X values, %d Y values",
+					path, f.ID, s.Name, len(s.X), len(s.Y))
+			}
+			for i, x := range s.X {
+				pts[key{f.ID, s.Name, x}] = s.Y[i]
+			}
+		}
+	}
+	return pts, &doc, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.15, "symmetric relative tolerance per point")
+	abs := flag.Float64("abs", 0.05, "absolute slack; drift below this always passes")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol f] [-abs f] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, baseDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, curDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if baseDoc.Mode != curDoc.Mode || baseDoc.Quick != curDoc.Quick {
+		fmt.Fprintf(os.Stderr, "benchdiff: snapshots not comparable: baseline %s/quick=%v, current %s/quick=%v\n",
+			baseDoc.Mode, baseDoc.Quick, curDoc.Mode, curDoc.Quick)
+		os.Exit(2)
+	}
+
+	curFigs := make(map[string]bool)
+	for _, f := range curDoc.Figures {
+		curFigs[f.ID] = true
+	}
+	drift, checked := diff(base, cur, curFigs, *tol, *abs)
+
+	if len(drift) > 0 {
+		sort.Strings(drift)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d points drifted beyond tolerance:\n", len(drift), checked)
+		for _, d := range drift {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d points within %.0f%% of %s\n", checked, 100**tol, flag.Arg(0))
+}
+
+// diff compares every baseline point against the current snapshot.
+// Figures absent from curFigs are skipped entirely (the current run may
+// cover a subset); anything else missing on either side is structural
+// drift. A point passes on absolute slack or symmetric relative error.
+func diff(base, cur map[key]float64, curFigs map[string]bool, tol, abs float64) (drift []string, checked int) {
+	for k, b := range base {
+		if !curFigs[k.fig] {
+			continue
+		}
+		c, ok := cur[k]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s/%s x=%g: missing from current", k.fig, k.series, k.x))
+			continue
+		}
+		checked++
+		d := math.Abs(c - b)
+		if d <= abs {
+			continue
+		}
+		if rel := d / math.Max(math.Abs(c), math.Abs(b)); rel > tol {
+			drift = append(drift, fmt.Sprintf("%s/%s x=%g: %.4g -> %.4g (%.1f%% > %.0f%%)",
+				k.fig, k.series, k.x, b, c, 100*rel, 100*tol))
+		}
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			drift = append(drift, fmt.Sprintf("%s/%s x=%g: not in baseline", k.fig, k.series, k.x))
+		}
+	}
+	return drift, checked
+}

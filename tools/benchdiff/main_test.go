@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func pts(m map[key]float64) map[key]float64 { return m }
+
+func TestDiffCleanWithinTolerance(t *testing.T) {
+	base := pts(map[key]float64{
+		{"fig1", "a", 1}:  10.0,
+		{"fig1", "a", 2}:  20.0,
+		{"t5", "msgs", 0}: 1000,
+	})
+	cur := pts(map[key]float64{
+		{"fig1", "a", 1}:  10.9, // 8.3% off
+		{"fig1", "a", 2}:  20.0,
+		{"t5", "msgs", 0}: 1100, // 9.1% off
+	})
+	figs := map[string]bool{"fig1": true, "t5": true}
+	drift, checked := diff(base, cur, figs, 0.10, 0.01)
+	if len(drift) != 0 {
+		t.Fatalf("unexpected drift: %v", drift)
+	}
+	if checked != 3 {
+		t.Fatalf("checked = %d, want 3", checked)
+	}
+}
+
+func TestDiffCatchesRegression(t *testing.T) {
+	base := pts(map[key]float64{{"fig1", "a", 1}: 10.0})
+	cur := pts(map[key]float64{{"fig1", "a", 1}: 7.0})
+	drift, _ := diff(base, cur, map[string]bool{"fig1": true}, 0.10, 0.01)
+	if len(drift) != 1 || !strings.Contains(drift[0], "fig1/a x=1") {
+		t.Fatalf("drift = %v, want one fig1/a report", drift)
+	}
+}
+
+func TestDiffAbsoluteSlack(t *testing.T) {
+	// Near-zero values: 0.001 -> 0.02 is 95% relative but passes on the
+	// absolute slack, which exists exactly for these noise-floor points.
+	base := pts(map[key]float64{{"fig1", "a", 1}: 0.001})
+	cur := pts(map[key]float64{{"fig1", "a", 1}: 0.02})
+	if drift, _ := diff(base, cur, map[string]bool{"fig1": true}, 0.10, 0.05); len(drift) != 0 {
+		t.Fatalf("absolute slack ignored: %v", drift)
+	}
+}
+
+func TestDiffStructuralDrift(t *testing.T) {
+	base := pts(map[key]float64{
+		{"fig1", "a", 1}: 1,
+		{"fig1", "a", 2}: 2, // missing from current
+	})
+	cur := pts(map[key]float64{
+		{"fig1", "a", 1}: 1,
+		{"fig1", "b", 1}: 3, // new series not in baseline
+	})
+	drift, _ := diff(base, cur, map[string]bool{"fig1": true}, 0.10, 0.01)
+	if len(drift) != 2 {
+		t.Fatalf("drift = %v, want missing + extra", drift)
+	}
+}
+
+func TestDiffSkipsFiguresAbsentFromCurrent(t *testing.T) {
+	base := pts(map[key]float64{{"t5", "msgs", 0}: 1000})
+	drift, checked := diff(base, pts(map[key]float64{}), map[string]bool{}, 0.10, 0.01)
+	if len(drift) != 0 || checked != 0 {
+		t.Fatalf("subset run flagged: drift=%v checked=%d", drift, checked)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	doc := `{"mode":"model","quick":true,"figures":[
+		{"ID":"fig1","Series":[{"Name":"a","X":[1,2],"Y":[10,20]}]}]}`
+	p := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Mode != "model" || !meta.Quick {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if got[key{"fig1", "a", 2}] != 20 {
+		t.Fatalf("points = %v", got)
+	}
+}
+
+func TestLoadRejectsRaggedSeries(t *testing.T) {
+	doc := `{"mode":"model","figures":[{"ID":"f","Series":[{"Name":"a","X":[1],"Y":[1,2]}]}]}`
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := load(p); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
