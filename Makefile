@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: build test race vet lint chaos serve-test check figures \
-	bench-diff bench-vector fuzz fuzz-smoke clean
+	bench-diff bench-vector bench-vector2 bench-fault wide-test \
+	fuzz fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -43,11 +44,17 @@ figures:
 
 ## bench-diff regenerates the quick snapshot into a scratch file and
 ## compares it point-by-point against the tracked BENCH_baseline.json
-## (tools/benchdiff, 15% relative tolerance). Fails on drift; after an
-## intentional model change, re-baseline with `make figures`.
+## (tools/benchdiff, 15% relative tolerance). The second leg re-measures
+## the v2 lanes x workers sweep against BENCH_vector2.json: its gated
+## series are worker-normalised lane-amortization ratios, so they compare
+## across hosts, but they still ride on wall-clock — hence the loose 50%
+## tolerance. Fails on drift; after an intentional model change,
+## re-baseline with `make figures` / `make bench-vector2`.
 bench-diff:
 	$(GO) run ./cmd/figures -quick -json .bench-current.json
 	$(GO) run ./tools/benchdiff BENCH_baseline.json .bench-current.json
+	$(GO) run ./cmd/figures -fig v2 -mode real -quick -json .bench-current.json
+	$(GO) run ./tools/benchdiff -tol 0.5 -abs 0.5 BENCH_vector2.json .bench-current.json
 	rm -f .bench-current.json
 
 ## bench-vector regenerates the batched-engine throughput snapshot: the
@@ -55,6 +62,23 @@ bench-diff:
 ## per-vector speed-up over the scalar compiled engine.
 bench-vector:
 	$(GO) run ./cmd/figures -fig v1 -mode real -json BENCH_vector.json
+
+## bench-vector2 regenerates the lanes x workers sweep (v2): wide planes
+## multiply the lane axis with the worker axis; the snapshot records the
+## per-vector throughput matrix and the >=4x acceptance ratio note.
+bench-vector2:
+	$(GO) run ./cmd/figures -fig v2 -mode real -quick -json BENCH_vector2.json
+
+## bench-fault regenerates the concurrent stuck-at fault-simulation
+## snapshot (f1): coverage, collapse rate and pass counts on the paper
+## circuits; the series are deterministic.
+bench-fault:
+	$(GO) run ./cmd/figures -fig f1 -mode real -json BENCH_fault.json
+
+## wide-test runs the wide-plane and fault-simulation suites under the
+## race detector — the same leg CI's wide-lane job runs.
+wide-test:
+	$(GO) test -race -timeout 5m -count=1 -run Wide ./internal/vector ./internal/analyze ./internal/logic ./internal/server .
 
 ## fuzz explores new inputs for the cross-engine differential harness.
 ## The checked-in corpus under testdata/fuzz/FuzzEngines already replays

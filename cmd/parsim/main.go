@@ -14,10 +14,18 @@
 // -json replaces the text summary with a machine-readable run report on
 // stdout — the same schema the parsimd daemon serves for finished jobs.
 //
-// -alg vector selects the bit-parallel batched engine: -lanes packs up to
-// 64 seed-shifted stimulus vectors into one run, -lane-stride sets the
-// per-lane rand/gray seed offset, and -probe-lane picks the lane that
-// -watch, -vcd and the final values observe.
+// -alg vector selects the bit-parallel batched engine: -lanes packs seed-
+// shifted stimulus vectors into one run (64 per machine word, planes widen
+// beyond that), -lane-stride sets the per-lane rand/gray seed offset, and
+// -probe-lane picks the lane that -watch, -vcd and the final values
+// observe.
+//
+// -faults turns the run into concurrent stuck-at fault simulation on the
+// vector engine (auto-selected when -alg is not given): lane 0 simulates
+// the good machine, every other lane injects one fault from the circuit's
+// collapsed stuck-at list, and the run reports fault coverage.
+// -fault-passes caps the chunked passes; -fault-statuses lists every fault
+// site with its detection step in the JSON report.
 //
 // -lint warn|strict runs the static analyzer before simulating and refuses
 // hazardous circuits (zero-delay combinational cycles, undriven inputs).
@@ -61,9 +69,12 @@ func main() {
 		vcdPath     = flag.String("vcd", "", "write watched-node waveforms to this VCD file")
 		noSteal     = flag.Bool("no-steal", false, "event-driven: disable work stealing")
 		central     = flag.Bool("central", false, "event-driven: use the contended central queue")
-		lanes       = flag.Int("lanes", 0, "vector: stimulus lanes packed per word, 1-64 (0 = 64)")
+		lanes       = flag.Int("lanes", 0, fmt.Sprintf("vector: stimulus lanes, 1-%d (0 = 64, one word; wider counts use multi-word planes)", parsim.MaxLanes))
 		laneStride  = flag.Int64("lane-stride", 0, "vector: per-lane rand/gray seed offset (0 = 1)")
 		probeLane   = flag.Int("probe-lane", 0, "vector: lane observed by -watch/-vcd and reported as final values")
+		faults      = flag.Bool("faults", false, "run concurrent stuck-at fault simulation (vector engine; auto-selected unless -alg is given)")
+		faultPasses = flag.Int("fault-passes", 0, "faults: cap the number of chunked fault passes (0 = simulate the whole list)")
+		faultStat   = flag.Bool("fault-statuses", false, "faults: include per-fault site/step rows in the JSON report")
 		spin        = flag.Int64("spin", 0, "synthetic work multiplier per evaluation")
 		summary     = flag.Bool("summary", false, "print circuit statistics before simulating")
 		lintFlag    = flag.String("lint", "off", "pre-flight static analysis: off, warn (refuse errors), strict (refuse warnings too)")
@@ -88,23 +99,39 @@ func main() {
 
 	// Resolve the algorithm through the facade, which dispatches through
 	// the same engine registry the figure harness and the daemon use.
+	// Fault simulation lives on the vector engine; -faults implies it
+	// unless the user explicitly picked an algorithm.
+	if *faults {
+		algSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "alg" {
+				algSet = true
+			}
+		})
+		if !algSet {
+			*algName = "vector"
+		}
+	}
 	alg, err := parsim.ParseAlgorithm(*algName)
 	if err != nil {
 		fatal(err)
 	}
 	opts := parsim.Options{
-		Algorithm:    alg,
-		Workers:      *workers,
-		Horizon:      parsim.Time(*horizon),
-		CostSpin:     *spin,
-		NoSteal:      *noSteal,
-		CentralQueue: *central,
-		Lint:         lint,
-		Watchdog:     *watchdog,
-		Fallback:     *fallback,
-		Lanes:        *lanes,
-		LaneStride:   *laneStride,
-		ProbeLane:    *probeLane,
+		Algorithm:      alg,
+		Workers:        *workers,
+		Horizon:        parsim.Time(*horizon),
+		CostSpin:       *spin,
+		NoSteal:        *noSteal,
+		CentralQueue:   *central,
+		Lint:           lint,
+		Watchdog:       *watchdog,
+		Fallback:       *fallback,
+		Lanes:          *lanes,
+		LaneStride:     *laneStride,
+		ProbeLane:      *probeLane,
+		FaultSim:       *faults,
+		FaultMaxPasses: *faultPasses,
+		FaultStatuses:  *faultStat,
 	}
 	if alg == parsim.Sequential {
 		opts.Workers = 1
@@ -158,6 +185,9 @@ func main() {
 				alg, res.Fault)
 		}
 		fmt.Println(res.Stats.String())
+		if res.FaultCoverage != nil {
+			fmt.Println(res.FaultCoverage.String())
+		}
 		for _, n := range watched {
 			fmt.Printf("%s: final=%v, %d changes\n",
 				c.Nodes[n].Name, res.Final[n], len(rec.History(n)))

@@ -7,11 +7,12 @@ import (
 )
 
 // FuzzEngines is the cross-engine differential fuzz harness: every fuzz
-// input decodes into a (seed, size, horizon, workers) tuple, the tuple
-// selects a random unit-delay circuit, and every registered engine —
-// including the batched vector engine's lane 0 — must reproduce the
-// sequential reference simulator's node history event for event and its
-// final node values bit for bit.
+// input decodes into a (seed, size, horizon, workers, lanes) tuple, the
+// tuple selects a random unit-delay circuit, and every registered engine —
+// including the batched vector engine's lane 0 at a randomized plane width
+// (64, 256 or 1024 lanes, i.e. 1, 4 or 16 words per plane) — must
+// reproduce the sequential reference simulator's node history event for
+// event and its final node values bit for bit.
 //
 // One refusal is legal: the conservative asynchronous pair may return the
 // structured ErrStalled self-report on circuits whose feedback loops never
@@ -25,16 +26,17 @@ import (
 // full differential matrix even when no fuzzing budget is configured.
 // `make fuzz` / CI's fuzz-smoke job explore new inputs.
 func FuzzEngines(f *testing.F) {
-	f.Add(int64(1), uint8(10), uint8(40), uint8(1))
-	f.Add(int64(3), uint8(60), uint8(200), uint8(2))
-	f.Add(int64(7), uint8(25), uint8(99), uint8(3))
-	f.Add(int64(-12345), uint8(80), uint8(120), uint8(4))
-	f.Add(int64(1<<40), uint8(120), uint8(64), uint8(2))
+	f.Add(int64(1), uint8(10), uint8(40), uint8(1), uint8(0))
+	f.Add(int64(3), uint8(60), uint8(200), uint8(2), uint8(1))
+	f.Add(int64(7), uint8(25), uint8(99), uint8(3), uint8(2))
+	f.Add(int64(-12345), uint8(80), uint8(120), uint8(4), uint8(1))
+	f.Add(int64(1<<40), uint8(120), uint8(64), uint8(2), uint8(2))
 
-	f.Fuzz(func(t *testing.T, seed int64, sizeB, horizonB, workersB uint8) {
+	f.Fuzz(func(t *testing.T, seed int64, sizeB, horizonB, workersB, lanesB uint8) {
 		size := int(sizeB)%120 + 4
 		horizon := Time(int(horizonB)%220 + 2)
 		workers := int(workersB)%4 + 1
+		lanes := fuzzLaneWidths[int(lanesB)%len(fuzzLaneWidths)]
 
 		c := RandomUnitCircuit(seed, size)
 
@@ -52,18 +54,24 @@ func FuzzEngines(f *testing.F) {
 			}
 			rec := NewRecorder()
 			opts := Options{Algorithm: alg, Horizon: horizon, Workers: workers, Probe: rec}
+			if alg == Vector {
+				// Exercise the multi-word plane paths: the extra lanes run
+				// seed-shifted stimulus, but lane 0 (the probe lane) must
+				// still match the scalar oracle exactly.
+				opts.Lanes = lanes
+			}
 			res, err := Simulate(c, opts)
 			if err != nil {
 				conservative := alg == Async || alg == DistAsync
 				if conservative && errors.Is(err, ErrStalled) {
 					continue // loud refusal on an event-free feedback loop
 				}
-				t.Fatalf("%v(seed=%d size=%d horizon=%d workers=%d): %v",
-					alg, seed, size, horizon, workers, err)
+				t.Fatalf("%v(seed=%d size=%d horizon=%d workers=%d lanes=%d): %v",
+					alg, seed, size, horizon, workers, lanes, err)
 			}
 			if d := HistoryDiff(c, ref, rec); d != "" {
-				t.Errorf("%v(seed=%d size=%d horizon=%d workers=%d) history diverges: %s",
-					alg, seed, size, horizon, workers, d)
+				t.Errorf("%v(seed=%d size=%d horizon=%d workers=%d lanes=%d) history diverges: %s",
+					alg, seed, size, horizon, workers, lanes, d)
 			}
 			for n := range c.Nodes {
 				if res.Final[n] != want.Final[n] {
@@ -75,13 +83,18 @@ func FuzzEngines(f *testing.F) {
 	})
 }
 
+// fuzzLaneWidths are the vector plane widths the harness cycles through:
+// one machine word, four words, and sixteen words per plane — the same
+// ladder the lanes x workers benchmark sweep measures.
+var fuzzLaneWidths = []int{64, 256, 1024}
+
 // corpusEntry builds the go-fuzz corpus file encoding for the harness's
 // parameter tuple; used by the generator test below to keep the checked-in
 // corpus format honest.
-func corpusEntry(seed int64, size, horizon, workers uint8) []byte {
-	var b [11]byte
+func corpusEntry(seed int64, size, horizon, workers, lanes uint8) []byte {
+	var b [12]byte
 	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
-	b[8], b[9], b[10] = size, horizon, workers
+	b[8], b[9], b[10], b[11] = size, horizon, workers, lanes
 	return b[:]
 }
 
@@ -93,22 +106,24 @@ func TestFuzzCorpusSeedsReplay(t *testing.T) {
 		t.Skip("differential matrix is slow")
 	}
 	for _, e := range [][]byte{
-		corpusEntry(1, 10, 40, 1),
-		corpusEntry(3, 60, 200, 2),
+		corpusEntry(1, 10, 40, 1, 0),
+		corpusEntry(3, 60, 200, 2, 1),
+		corpusEntry(7, 25, 99, 3, 2),
 	} {
 		seed := int64(binary.LittleEndian.Uint64(e[:8]))
 		c := RandomUnitCircuit(seed, int(e[8])%120+4)
 		horizon := Time(int(e[9])%220 + 2)
+		lanes := fuzzLaneWidths[int(e[11])%len(fuzzLaneWidths)]
 		ref := NewRecorder()
 		if _, err := Simulate(c, Options{Algorithm: Sequential, Horizon: horizon, Workers: 1, Probe: ref}); err != nil {
 			t.Fatal(err)
 		}
 		rec := NewRecorder()
-		if _, err := Simulate(c, Options{Algorithm: Vector, Horizon: horizon, Workers: int(e[10])%4 + 1, Probe: rec}); err != nil {
+		if _, err := Simulate(c, Options{Algorithm: Vector, Horizon: horizon, Workers: int(e[10])%4 + 1, Lanes: lanes, Probe: rec}); err != nil {
 			t.Fatal(err)
 		}
 		if d := HistoryDiff(c, ref, rec); d != "" {
-			t.Errorf("seed %d: %s", seed, d)
+			t.Errorf("seed %d lanes %d: %s", seed, lanes, d)
 		}
 	}
 }

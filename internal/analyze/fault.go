@@ -1,0 +1,81 @@
+package analyze
+
+import (
+	"fmt"
+
+	"parsim/internal/circuit"
+)
+
+// Fault is one single stuck-at fault site: bit Bit of node Node permanently
+// held at L (StuckHigh false) or H (StuckHigh true). The concurrent fault
+// simulator injects one Fault per stimulus lane.
+type Fault struct {
+	Node      circuit.NodeID `json:"node"`
+	Bit       int            `json:"bit"`
+	StuckHigh bool           `json:"stuck_high"`
+}
+
+// Site renders the fault as a stable human-readable site label, e.g.
+// "alu_y[3]:sa1" or "clk:sa0" — the identifier coverage reports key on.
+func (f Fault) Site(c *circuit.Circuit) string {
+	sa := "sa0"
+	if f.StuckHigh {
+		sa = "sa1"
+	}
+	n := &c.Nodes[f.Node]
+	if n.Width > 1 {
+		return fmt.Sprintf("%s[%d]:%s", n.Name, f.Bit, sa)
+	}
+	return fmt.Sprintf("%s:%s", n.Name, sa)
+}
+
+// TotalFaultSites returns the size of the uncollapsed single stuck-at
+// universe: both polarities of every bit of every node.
+func TotalFaultSites(c *circuit.Circuit) int {
+	total := 0
+	for n := range c.Nodes {
+		total += 2 * c.Nodes[n].Width
+	}
+	return total
+}
+
+// FaultList enumerates the single stuck-at fault universe of the circuit in
+// deterministic node/bit order and, when collapse is true, removes faults
+// provably equivalent to a retained representative: a fault on the output
+// of a single-input buf/not gate whose input node feeds only that gate is
+// indistinguishable at every observation point from the matching fault on
+// the input, so inverter and buffer chains keep only the chain head's
+// fault pair. The collapsed list is what the concurrent fault simulator
+// injects; coverage over it equals coverage over the full universe.
+func FaultList(c *circuit.Circuit, collapse bool) []Fault {
+	faults := make([]Fault, 0, TotalFaultSites(c))
+	for n := range c.Nodes {
+		id := circuit.NodeID(n)
+		if collapse && collapsesIntoInput(c, id) {
+			continue
+		}
+		for b := 0; b < c.Nodes[n].Width; b++ {
+			faults = append(faults,
+				Fault{Node: id, Bit: b, StuckHigh: false},
+				Fault{Node: id, Bit: b, StuckHigh: true})
+		}
+	}
+	return faults
+}
+
+// collapsesIntoInput reports whether every fault on n is equivalent to a
+// fault on its driver's input: n is driven by a single-input buf or not
+// gate, and that gate is its input node's only reader — so any fault
+// effect on n is exactly the (possibly inverted) effect of the matching
+// input fault, and no other path can distinguish them.
+func collapsesIntoInput(c *circuit.Circuit, n circuit.NodeID) bool {
+	d := c.Nodes[n].Driver
+	if d == circuit.NoElem {
+		return false
+	}
+	el := &c.Elems[d]
+	if (el.Kind != circuit.KindBuf && el.Kind != circuit.KindNot) || len(el.In) != 1 {
+		return false
+	}
+	return len(c.Nodes[el.In[0]].Fanout) == 1
+}

@@ -1,0 +1,111 @@
+package analyze
+
+import (
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/logic"
+)
+
+// chainCircuit builds clk -> inv0 -> n0 -> inv1 -> n1 -> inv2 -> n2, the
+// canonical collapsing case: every inverter output fault is equivalent to a
+// fault on the chain head.
+func chainCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("fault-chain")
+	clk := b.Bit("clk")
+	b.Clock("gen", clk, 2, 0, 1)
+	prev := clk
+	for i := 0; i < 3; i++ {
+		out := b.Bit([]string{"n0", "n1", "n2"}[i])
+		b.Gate(circuit.KindNot, []string{"inv0", "inv1", "inv2"}[i], 1, out, prev)
+		prev = out
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWideFaultListCollapse pins the collapsing rule on an inverter chain:
+// the full universe enumerates both polarities of every node bit, the
+// collapsed list keeps only the chain head's pair.
+func TestWideFaultListCollapse(t *testing.T) {
+	c := chainCircuit(t)
+
+	full := FaultList(c, false)
+	if got, want := len(full), TotalFaultSites(c); got != want {
+		t.Fatalf("uncollapsed list has %d faults, want %d", got, want)
+	}
+	if want := 2 * 4; len(full) != want { // 4 single-bit nodes x 2 polarities
+		t.Fatalf("uncollapsed list has %d faults, want %d", len(full), want)
+	}
+
+	collapsed := FaultList(c, true)
+	if len(collapsed) != 2 {
+		t.Fatalf("collapsed list has %d faults, want 2 (chain head only): %v", len(collapsed), collapsed)
+	}
+	clk := c.ByName["clk"]
+	for i, f := range collapsed {
+		if f.Node != clk {
+			t.Errorf("collapsed fault %d on node %d, want clk (%d)", i, f.Node, clk)
+		}
+	}
+	// Deterministic order: sa0 before sa1 at each site.
+	if collapsed[0].StuckHigh || !collapsed[1].StuckHigh {
+		t.Fatalf("collapsed list order not sa0,sa1: %v", collapsed)
+	}
+}
+
+// TestFaultListFanoutBlocksCollapse: an inverter whose input feeds a second
+// reader must keep its output faults — the input fault is distinguishable
+// through the other path.
+func TestFaultListFanoutBlocksCollapse(t *testing.T) {
+	b := circuit.NewBuilder("fault-fanout")
+	clk := b.Bit("clk")
+	b.Clock("gen", clk, 2, 0, 1)
+	n0, n1 := b.Bit("n0"), b.Bit("n1")
+	b.Gate(circuit.KindNot, "inv0", 1, n0, clk)
+	b.Gate(circuit.KindNot, "inv1", 1, n1, clk)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	collapsed := FaultList(c, true)
+	if got, want := len(collapsed), TotalFaultSites(c); got != want {
+		t.Fatalf("fanout circuit collapsed %d faults away, want none (%d of %d kept)",
+			want-got, got, want)
+	}
+}
+
+// TestFaultSiteLabels pins the site label format coverage reports key on.
+func TestFaultSiteLabels(t *testing.T) {
+	b := circuit.NewBuilder("fault-sites")
+	bus := b.Node("bus", 4)
+	b.Const("gen", bus, logic.V(4, 5))
+	one := b.Bit("one")
+	b.AddElement(circuit.KindRedOr, "red", 1, []circuit.NodeID{one}, []circuit.NodeID{bus}, circuit.Params{})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	busID := c.ByName["bus"]
+	oneID := c.ByName["one"]
+	cases := []struct {
+		f    Fault
+		want string
+	}{
+		{Fault{Node: busID, Bit: 2, StuckHigh: true}, "bus[2]:sa1"},
+		{Fault{Node: busID, Bit: 0, StuckHigh: false}, "bus[0]:sa0"},
+		{Fault{Node: oneID, Bit: 0, StuckHigh: true}, "one:sa1"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Site(c); got != tc.want {
+			t.Errorf("Site(%+v) = %q, want %q", tc.f, got, tc.want)
+		}
+	}
+	if got, want := TotalFaultSites(c), 2*(4+1); got != want {
+		t.Errorf("TotalFaultSites = %d, want %d", got, want)
+	}
+}

@@ -116,8 +116,9 @@ type Config struct {
 	// Batched-simulation fields, honoured by the vector engine and ignored
 	// by the scalar engines.
 	//
-	// Lanes is the number of independent stimulus vectors packed into each
-	// machine word (1..logic.MaxLanes; 0 defaults to the full word of 64).
+	// Lanes is the number of independent stimulus vectors simulated at
+	// once (1..logic.MaxWideLanes; 0 defaults to one 64-lane plane word;
+	// larger counts widen every plane to ceil(Lanes/64) words).
 	Lanes int
 	// LaneStride offsets the Seed of rand/gray stimulus generators per
 	// lane: lane k runs with Seed + k*LaneStride, so lane 0 always replays
@@ -126,6 +127,18 @@ type Config struct {
 	// ProbeLane selects which lane feeds Probe and Report.Final in a
 	// batched run (default 0, the scalar-identical lane).
 	ProbeLane int
+
+	// FaultSim switches the run to concurrent stuck-at fault simulation:
+	// lane 0 simulates the good machine, lanes 1..Lanes-1 each carry one
+	// fault from the analyzer's collapsed stuck-at list, and the Report
+	// carries FaultCoverage. Only the vector engine supports it; RunEngine
+	// rejects the flag for every other engine.
+	FaultSim bool
+	// FaultMaxPasses caps fault-list chunking (each pass simulates Lanes-1
+	// faults; 0 runs every pass the list needs).
+	FaultMaxPasses int
+	// FaultStatuses includes the per-fault status rows in FaultCoverage.
+	FaultStatuses bool
 
 	// Ablation flags, honoured by the engine they name.
 	NoSteal       bool // event-driven: disable end-of-phase work stealing
@@ -152,6 +165,9 @@ type Report struct {
 	// batched vector run, indexed [lane][NodeID]; LaneFinal[ProbeLane]
 	// equals Final. Nil for the scalar engines.
 	LaneFinal [][]logic.Value
+	// FaultCoverage reports stuck-at coverage from a fault-simulation run
+	// (Config.FaultSim); nil otherwise.
+	FaultCoverage *stats.FaultCoverage
 	// Degraded marks a result produced by the Config.Fallback engine
 	// after the requested engine faulted or stalled; Fault holds the
 	// original engine's error.
@@ -258,6 +274,9 @@ func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.FaultSim && e.Name() != "vector" {
+		return nil, fmt.Errorf("parsim: fault simulation requires the vector engine, not %q", e.Name())
+	}
 	var fb Engine
 	if cfg.Fallback != "" {
 		var err error
@@ -272,7 +291,8 @@ func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*
 		}
 	}
 	rep, err := runGuarded(ctx, e, c, cfg)
-	if err == nil || fb == nil || fb.Name() == e.Name() || !guard.Recoverable(err) {
+	if err == nil || fb == nil || fb.Name() == e.Name() || !guard.Recoverable(err) ||
+		cfg.FaultSim { // a scalar fallback cannot carry a fault-sim run
 		return rep, err
 	}
 	// Fallback policy: the requested engine faulted or stalled; re-run on

@@ -131,8 +131,16 @@ func Generate(id string, cfg Config) (*Figure, error) {
 		// real wall-clock (see vector.go), so the default all-experiments
 		// model pass skips it; `make bench-vector` regenerates it.
 		return v1(cfg), nil
+	case "v2":
+		// Also real-only: the lanes x workers sweep behind BENCH_vector2.json
+		// (`make bench-vector2`).
+		return v2(cfg), nil
+	case "f1":
+		// Fault-simulation coverage behind BENCH_fault.json (`make
+		// bench-fault`); deterministic series, real wall in the notes.
+		return f1(cfg), nil
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1)", id, strings.Join(IDs(), ", "))
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1, v2, f1)", id, strings.Join(IDs(), ", "))
 }
 
 // procSweep returns the processor counts for curves: 1..8 then evens.

@@ -1,0 +1,149 @@
+package logic
+
+import "fmt"
+
+// MaxWideLanes is the widest supported batched run: 64 plane words of 64
+// lanes each. The cap is a sanity bound on buffer sizing, not an
+// architectural limit; one more word buys 64 more lanes everywhere.
+const MaxWideLanes = 64 * MaxLanes
+
+// PlaneWords returns how many 64-lane Plane words carry the given number of
+// stimulus lanes — the width, in words, of every WidePlane of a run.
+func PlaneWords(lanes int) int {
+	if lanes < 1 || lanes > MaxWideLanes {
+		panic(fmt.Sprintf("logic: lane count %d out of range [1,%d]", lanes, MaxWideLanes))
+	}
+	return (lanes + MaxLanes - 1) / MaxLanes
+}
+
+// WidePlane is the N-word generalisation of Plane: one bit position of a
+// bus across an arbitrary number of stimulus lanes. Word w carries lanes
+// [64w, 64w+64) with exactly Plane's V/U encoding, so every word-level
+// operation proven over Plane applies unchanged to each word of a
+// WidePlane. The V and U slices are views into a run's struct-of-arrays
+// backing buffers (the value words of all planes in one flat []uint64, the
+// undefined words in another); they always have equal length.
+type WidePlane struct {
+	V, U []uint64
+}
+
+// Words returns the plane width in 64-lane words.
+func (p WidePlane) Words() int { return len(p.V) }
+
+// Word returns word w — lanes [64w, 64w+64) — as a Plane, the carrier of
+// all word-level operations.
+func (p WidePlane) Word(w int) Plane { return Plane{V: p.V[w], U: p.U[w]} }
+
+// SetWord stores q into word w.
+func (p WidePlane) SetWord(w int, q Plane) { p.V[w], p.U[w] = q.V, q.U }
+
+// Lane returns the state held in lane i.
+func (p WidePlane) Lane(i int) State { return p.Word(i >> 6).Lane(i & 63) }
+
+// SetLane stores s into lane i.
+func (p WidePlane) SetLane(i int, s State) {
+	q := p.Word(i >> 6)
+	q.SetLane(i&63, s)
+	p.SetWord(i>>6, q)
+}
+
+// Fill sets every lane of p to s.
+func (p WidePlane) Fill(s State) {
+	q := PlaneBroadcast(s)
+	for w := range p.V {
+		p.V[w], p.U[w] = q.V, q.U
+	}
+}
+
+// LaneMasks returns the per-word live-lane masks of a lanes-wide run: full
+// words of ones with the final partial word masked, the wide form of the
+// single-word lane mask the 64-lane engine kept.
+func LaneMasks(lanes int) []uint64 {
+	words := PlaneWords(lanes)
+	m := make([]uint64, words)
+	for w := range m {
+		m[w] = ^uint64(0)
+	}
+	if r := lanes & 63; r != 0 {
+		m[words-1] = 1<<uint(r) - 1
+	}
+	return m
+}
+
+// ---- packed-bus helpers ----
+//
+// A batched bus of width w is a []WidePlane of length w, planes[i] holding
+// bit i of every lane. These mirror PackLane / ExtractLane /
+// BroadcastValue; a lane lives entirely inside one word, so each helper
+// touches exactly one word per plane.
+
+// PackLaneWide writes v into lane of the wide bus planes[0:v.Width()].
+func PackLaneWide(planes []WidePlane, lane int, v Value) {
+	if len(planes) < int(v.width) {
+		panic(fmt.Sprintf("logic: PackLaneWide %d-bit value into %d planes", v.width, len(planes)))
+	}
+	wd := lane >> 6
+	bit := uint64(1) << uint(lane&63)
+	for i := 0; i < int(v.width); i++ {
+		p := planes[i]
+		vw, uw := p.V[wd]&^bit, p.U[wd]&^bit
+		pos := uint64(1) << uint(i)
+		if v.hiz&pos != 0 {
+			vw |= bit
+			uw |= bit
+		} else if v.unk&pos != 0 {
+			uw |= bit
+		} else if v.bits&pos != 0 {
+			vw |= bit
+		}
+		p.V[wd], p.U[wd] = vw, uw
+	}
+}
+
+// ExtractLaneWide reads lane of the width-bit bus planes[0:width] as a
+// Value.
+func ExtractLaneWide(planes []WidePlane, lane, width int) Value {
+	w := checkWidth(width)
+	wd := lane >> 6
+	bit := uint64(1) << uint(lane&63)
+	var v Value
+	v.width = w
+	for i := 0; i < width; i++ {
+		p := planes[i]
+		pos := uint64(1) << uint(i)
+		switch {
+		case p.V[wd]&bit != 0 && p.U[wd]&bit != 0:
+			v.hiz |= pos
+		case p.U[wd]&bit != 0:
+			v.unk |= pos
+		case p.V[wd]&bit != 0:
+			v.bits |= pos
+		}
+	}
+	return v
+}
+
+// BroadcastValueWide fills dst[0:v.Width()] with v replicated into every
+// lane.
+func BroadcastValueWide(dst []WidePlane, v Value) {
+	if len(dst) < int(v.width) {
+		panic(fmt.Sprintf("logic: BroadcastValueWide %d-bit value into %d planes", v.width, len(dst)))
+	}
+	all := ^uint64(0)
+	for i := 0; i < int(v.width); i++ {
+		pos := uint64(1) << uint(i)
+		var q Plane
+		switch {
+		case v.hiz&pos != 0:
+			q = Plane{V: all, U: all}
+		case v.unk&pos != 0:
+			q = Plane{U: all}
+		case v.bits&pos != 0:
+			q = Plane{V: all}
+		}
+		dst[i].SetWord(0, q)
+		for w := 1; w < len(dst[i].V); w++ {
+			dst[i].SetWord(w, q)
+		}
+	}
+}

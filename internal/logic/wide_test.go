@@ -1,0 +1,197 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var wideWidths = []int{64, 256, 1024}
+
+// newWide allocates a standalone lanes-wide plane (tests only; the engine
+// views into shared flat buffers instead).
+func newWide(lanes int) WidePlane {
+	w := PlaneWords(lanes)
+	return WidePlane{V: make([]uint64, w), U: make([]uint64, w)}
+}
+
+func TestWidePlaneWords(t *testing.T) {
+	cases := []struct{ lanes, words int }{
+		{1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+		{256, 4}, {1024, 16}, {MaxWideLanes, 64},
+	}
+	for _, c := range cases {
+		if got := PlaneWords(c.lanes); got != c.words {
+			t.Errorf("PlaneWords(%d) = %d, want %d", c.lanes, got, c.words)
+		}
+	}
+	for _, bad := range []int{0, -1, MaxWideLanes + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PlaneWords(%d) did not panic", bad)
+				}
+			}()
+			PlaneWords(bad)
+		}()
+	}
+}
+
+// TestWidePlaneLaneRoundTrip proves the lane accessors agree with the
+// proven single-word Plane accessors at every lane of every width.
+func TestWidePlaneLaneRoundTrip(t *testing.T) {
+	states := []State{L, H, X, Z}
+	for _, lanes := range wideWidths {
+		p := newWide(lanes)
+		for i := 0; i < lanes; i++ {
+			s := states[(i*7+i/64)%4]
+			p.SetLane(i, s)
+		}
+		for i := 0; i < lanes; i++ {
+			want := states[(i*7+i/64)%4]
+			if got := p.Lane(i); got != want {
+				t.Fatalf("lanes=%d lane %d = %v, want %v", lanes, i, got, want)
+			}
+			// Cross-check against the single-word accessor on the word view.
+			if got := p.Word(i >> 6).Lane(i & 63); got != want {
+				t.Fatalf("lanes=%d word view lane %d = %v, want %v", lanes, i, got, want)
+			}
+		}
+	}
+}
+
+func TestWidePlaneWordViewAliases(t *testing.T) {
+	p := newWide(256)
+	p.SetWord(2, PlaneBroadcast(H))
+	if p.Lane(128) != H || p.Lane(191) != H || p.Lane(127) != L || p.Lane(192) != L {
+		t.Fatalf("SetWord(2) did not hit lanes [128,192): %v %v", p.Lane(128), p.Lane(192))
+	}
+	if got := p.Word(2); got != PlaneBroadcast(H) {
+		t.Fatalf("Word(2) = %+v", got)
+	}
+	if p.Words() != 4 {
+		t.Fatalf("Words() = %d", p.Words())
+	}
+}
+
+func TestWidePlaneFill(t *testing.T) {
+	for _, lanes := range []int{64, 192} {
+		p := newWide(lanes)
+		p.Fill(X)
+		for i := 0; i < lanes; i++ {
+			if p.Lane(i) != X {
+				t.Fatalf("lanes=%d lane %d not X after Fill", lanes, i)
+			}
+		}
+	}
+}
+
+func TestWideLaneMasks(t *testing.T) {
+	cases := []struct {
+		lanes int
+		want  []uint64
+	}{
+		{64, []uint64{^uint64(0)}},
+		{65, []uint64{^uint64(0), 1}},
+		{100, []uint64{^uint64(0), 1<<36 - 1}},
+		{256, []uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}},
+	}
+	for _, c := range cases {
+		got := LaneMasks(c.lanes)
+		if len(got) != len(c.want) {
+			t.Fatalf("LaneMasks(%d) len = %d, want %d", c.lanes, len(got), len(c.want))
+		}
+		for w := range got {
+			if got[w] != c.want[w] {
+				t.Fatalf("LaneMasks(%d)[%d] = %#x, want %#x", c.lanes, w, got[w], c.want[w])
+			}
+		}
+	}
+}
+
+// TestWidePackExtractRoundTrip round-trips random Values through every
+// lane of a wide bus at multiple widths, and cross-checks word 0 against
+// the proven single-word PackLane/ExtractLane.
+func TestWidePackExtractRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, lanes := range wideWidths {
+		const busW = 8
+		wide := make([]WidePlane, busW)
+		for i := range wide {
+			wide[i] = newWide(lanes)
+		}
+		want := make([]Value, lanes)
+		for lane := 0; lane < lanes; lane++ {
+			want[lane] = randomValue(r, busW)
+			PackLaneWide(wide, lane, want[lane])
+		}
+		for lane := 0; lane < lanes; lane++ {
+			if got := ExtractLaneWide(wide, lane, busW); got != want[lane] {
+				t.Fatalf("lanes=%d lane %d: %v, want %v", lanes, lane, got, want[lane])
+			}
+		}
+		// Word 0 of the wide bus must be bit-identical to a narrow bus
+		// packed with the same first 64 values.
+		narrow := make([]Plane, busW)
+		for lane := 0; lane < 64; lane++ {
+			PackLane(narrow, lane, want[lane])
+		}
+		for i := range narrow {
+			if wide[i].Word(0) != narrow[i] {
+				t.Fatalf("lanes=%d plane %d word 0 differs from narrow pack", lanes, i)
+			}
+		}
+	}
+}
+
+// TestWidePackLanePreservesOtherLanes packs into one lane and checks no
+// neighbour, in-word or cross-word, is disturbed.
+func TestWidePackLanePreservesOtherLanes(t *testing.T) {
+	const lanes, busW = 256, 4
+	r := rand.New(rand.NewSource(7))
+	wide := make([]WidePlane, busW)
+	for i := range wide {
+		wide[i] = newWide(lanes)
+	}
+	vals := make([]Value, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		vals[lane] = randomValue(r, busW)
+		PackLaneWide(wide, lane, vals[lane])
+	}
+	// Overwrite a mid-bus lane and re-check all others.
+	vals[130] = AllZ(busW)
+	PackLaneWide(wide, 130, vals[130])
+	for lane := 0; lane < lanes; lane++ {
+		if got := ExtractLaneWide(wide, lane, busW); got != vals[lane] {
+			t.Fatalf("lane %d disturbed: %v, want %v", lane, got, vals[lane])
+		}
+	}
+}
+
+// TestWideBroadcastValue proves BroadcastValueWide fills every lane of
+// every word and matches the single-word BroadcastValue on each word.
+func TestWideBroadcastValue(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for _, lanes := range []int{64, 1024} {
+		const busW = 6
+		wide := make([]WidePlane, busW)
+		for i := range wide {
+			wide[i] = newWide(lanes)
+		}
+		v := randomValue(r, busW)
+		BroadcastValueWide(wide, v)
+		narrow := make([]Plane, busW)
+		BroadcastValue(narrow, v)
+		for i := range wide {
+			for w := 0; w < wide[i].Words(); w++ {
+				if wide[i].Word(w) != narrow[i] {
+					t.Fatalf("lanes=%d plane %d word %d differs from narrow broadcast", lanes, i, w)
+				}
+			}
+		}
+		for lane := 0; lane < lanes; lane += 17 {
+			if got := ExtractLaneWide(wide, lane, busW); got != v {
+				t.Fatalf("lanes=%d lane %d: %v, want %v", lanes, lane, got, v)
+			}
+		}
+	}
+}

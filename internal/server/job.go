@@ -44,8 +44,12 @@ type job struct {
 	lanes      int
 	laneStride int64
 	probeLane  int
-	watch      []circuit.NodeID // nodes recorded for the /vcd endpoint
-	rec        *trace.Recorder  // nil unless watch nodes were requested
+	// Fault-simulation fields (vector engine only; validated at admission).
+	faultSim  bool
+	faultCap  int
+	faultStat bool
+	watch     []circuit.NodeID // nodes recorded for the /vcd endpoint
+	rec       *trace.Recorder  // nil unless watch nodes were requested
 
 	mu        sync.Mutex
 	state     jobState

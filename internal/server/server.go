@@ -173,9 +173,11 @@ type jobRequest struct {
 	CostSpin int64 `json:"cost_spin,omitempty"`
 	// Watch lists node names to record; required for the /vcd endpoint.
 	Watch []string `json:"watch,omitempty"`
-	// Lanes batches up to 64 seed-shifted stimulus vectors into one run of
-	// the vector engine (0 = engine default of 64; ignored by the scalar
-	// engines). One job, one core reservation, Lanes results: the
+	// Lanes batches seed-shifted stimulus vectors into one run of the
+	// vector engine (0 = engine default of 64, one machine word; larger
+	// counts widen every node plane to ceil(lanes/64) words and are
+	// admission-checked against the server's plane budget; ignored by the
+	// scalar engines). One job, one core reservation, Lanes results: the
 	// per-lane final values come back in the result's lane_final rows.
 	Lanes int `json:"lanes,omitempty"`
 	// LaneStride is the per-lane rand/gray seed offset (0 = 1).
@@ -183,6 +185,16 @@ type jobRequest struct {
 	// ProbeLane selects the lane the watch recording and the final values
 	// observe (default 0, the scalar-identical lane).
 	ProbeLane int `json:"probe_lane,omitempty"`
+	// FaultSim switches a vector-engine job to concurrent stuck-at fault
+	// simulation: lane 0 simulates the good machine, every other lane
+	// injects one fault from the circuit's collapsed stuck-at list, and
+	// the result carries a fault_coverage section. Rejected (400) on any
+	// other engine.
+	FaultSim bool `json:"fault_sim,omitempty"`
+	// FaultMaxPasses caps the chunked fault passes (0 = whole list).
+	FaultMaxPasses int `json:"fault_max_passes,omitempty"`
+	// FaultStatuses includes the per-fault site/step rows in the result.
+	FaultStatuses bool `json:"fault_statuses,omitempty"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -272,8 +284,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, "deadline_ms and watchdog_ms must be >= 0")
 		return
 	}
-	if req.Lanes < 0 || req.Lanes > logic.MaxLanes {
-		s.reject(w, http.StatusBadRequest, "lanes must be in [0,%d], got %d", logic.MaxLanes, req.Lanes)
+	if req.Lanes < 0 || req.Lanes > logic.MaxWideLanes {
+		s.reject(w, http.StatusBadRequest, "lanes must be in [0,%d], got %d", logic.MaxWideLanes, req.Lanes)
 		return
 	}
 	lanes := req.Lanes
@@ -283,6 +295,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.ProbeLane < 0 || req.ProbeLane >= lanes {
 		s.reject(w, http.StatusBadRequest, "probe_lane %d outside [0,%d)", req.ProbeLane, lanes)
 		return
+	}
+	if req.FaultSim {
+		if eng.Name() != "vector" {
+			s.reject(w, http.StatusBadRequest,
+				"fault_sim requires the vector engine, not %q", eng.Name())
+			return
+		}
+		if lanes < 2 {
+			s.reject(w, http.StatusBadRequest,
+				"fault_sim needs at least 2 lanes (good machine + one fault), got %d", lanes)
+			return
+		}
 	}
 
 	circ, err := netlist.ReadLimited(strings.NewReader(req.Netlist), netlist.Limits{
@@ -297,6 +321,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.reject(w, http.StatusBadRequest, "netlist: %v", err)
 		return
+	}
+	// Lane-width-aware admission: a vector job's state footprint scales
+	// with nodes x plane words, so a wide-lane job must fit the same node
+	// budget a 64-lane job is held to. Scalar engines ignore lanes and
+	// carry one machine word per node either way.
+	if eng.Name() == "vector" {
+		if words := logic.PlaneWords(lanes); len(circ.Nodes)*words > s.cfg.MaxNodes {
+			s.reject(w, http.StatusRequestEntityTooLarge,
+				"circuit nodes (%d) x plane words (%d) exceeds the node budget %d; lower lanes or shrink the netlist",
+				len(circ.Nodes), words, s.cfg.MaxNodes)
+			return
+		}
 	}
 
 	var watch []circuit.NodeID
@@ -323,6 +359,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		lanes:      req.Lanes,
 		laneStride: req.LaneStride,
 		probeLane:  req.ProbeLane,
+		faultSim:   req.FaultSim,
+		faultCap:   req.FaultMaxPasses,
+		faultStat:  req.FaultStatuses,
 		state:      jobQueued,
 	}
 	if len(watch) > 0 {
@@ -474,14 +513,17 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	cfg := engine.Config{
-		Workers:    j.cores,
-		Horizon:    j.horizon,
-		CostSpin:   j.costSpin,
-		Lint:       j.lint,
-		Watchdog:   j.watchdog,
-		Lanes:      j.lanes,
-		LaneStride: j.laneStride,
-		ProbeLane:  j.probeLane,
+		Workers:        j.cores,
+		Horizon:        j.horizon,
+		CostSpin:       j.costSpin,
+		Lint:           j.lint,
+		Watchdog:       j.watchdog,
+		Lanes:          j.lanes,
+		LaneStride:     j.laneStride,
+		ProbeLane:      j.probeLane,
+		FaultSim:       j.faultSim,
+		FaultMaxPasses: j.faultCap,
+		FaultStatuses:  j.faultStat,
 	}
 	if j.rec != nil {
 		cfg.Probe = j.rec
@@ -512,16 +554,17 @@ func resultFromReport(rep *engine.Report) *parsim.Result {
 	}
 	tot := rep.Run.Totals()
 	return &parsim.Result{
-		Stats:     rep.Run,
-		Final:     rep.Final,
-		LaneFinal: rep.LaneFinal,
-		Messages:  tot.Messages,
-		Rollbacks: tot.Rollbacks,
-		Cancelled: tot.Cancelled,
-		PeakLog:   rep.PeakLog,
-		Rounds:    rep.Rounds,
-		Degraded:  rep.Degraded,
-		Fault:     rep.Fault,
+		Stats:         rep.Run,
+		Final:         rep.Final,
+		LaneFinal:     rep.LaneFinal,
+		FaultCoverage: rep.FaultCoverage,
+		Messages:      tot.Messages,
+		Rollbacks:     tot.Rollbacks,
+		Cancelled:     tot.Cancelled,
+		PeakLog:       rep.PeakLog,
+		Rounds:        rep.Rounds,
+		Degraded:      rep.Degraded,
+		Fault:         rep.Fault,
 	}
 }
 

@@ -547,7 +547,8 @@ func TestBatchedVectorJob(t *testing.T) {
 	}
 }
 
-// TestBatchedAdmissionValidation covers the lane-field 400 paths.
+// TestBatchedAdmissionValidation covers the lane- and fault-field 400
+// paths.
 func TestBatchedAdmissionValidation(t *testing.T) {
 	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 4})
 	cases := []struct {
@@ -555,10 +556,12 @@ func TestBatchedAdmissionValidation(t *testing.T) {
 		req  jobRequest
 		msg  string
 	}{
-		{"lanes too wide", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 65}, "lanes"},
+		{"lanes too wide", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: logic.MaxWideLanes + 1}, "lanes"},
 		{"negative lanes", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: -1}, "lanes"},
 		{"probe lane out of range", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 4, ProbeLane: 4}, "probe_lane"},
 		{"negative probe lane", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, ProbeLane: -1}, "probe_lane"},
+		{"fault sim on scalar engine", jobRequest{Netlist: testNetlist, Engine: "asynchronous", Horizon: 8, FaultSim: true}, "fault_sim"},
+		{"fault sim single lane", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 1, FaultSim: true}, "fault_sim"},
 	}
 	for _, tc := range cases {
 		var errBody errorBody
@@ -570,6 +573,83 @@ func TestBatchedAdmissionValidation(t *testing.T) {
 		if !strings.Contains(errBody.Error, tc.msg) {
 			t.Errorf("%s: body %q missing %q", tc.name, errBody.Error, tc.msg)
 		}
+	}
+}
+
+// TestWideLaneAdmission is the plane-width admission table: a vector job's
+// node budget is charged nodes x ceil(lanes/64) words, so widening the
+// lanes shrinks the largest admissible netlist; scalar engines ignore the
+// lane field entirely. testNetlist has 4 nodes and the server budgets 8,
+// so one or two plane words fit and three don't.
+func TestWideLaneAdmission(t *testing.T) {
+	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 4, MaxNodes: 8})
+	cases := []struct {
+		name string
+		req  jobRequest
+		want int
+		msg  string
+	}{
+		{"one word fits", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 64}, 202, ""},
+		{"two words fit", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 128}, 202, ""},
+		{"three words too big", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 192}, 413, "plane words"},
+		{"max width too big", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: logic.MaxWideLanes}, 413, "plane words"},
+		{"fault sim wide too big", jobRequest{Netlist: testNetlist, Engine: "vector", Horizon: 8, Lanes: 1024, FaultSim: true}, 413, "plane words"},
+		{"scalar ignores lanes", jobRequest{Netlist: testNetlist, Engine: "asynchronous", Horizon: 8, Lanes: logic.MaxWideLanes}, 202, ""},
+	}
+	for _, tc := range cases {
+		var errBody errorBody
+		var out any
+		if tc.want != 202 {
+			out = &errBody
+		}
+		resp := ts.submit(t, tc.req, out)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%q)", tc.name, resp.StatusCode, tc.want, errBody.Error)
+			continue
+		}
+		if tc.msg != "" && !strings.Contains(errBody.Error, tc.msg) {
+			t.Errorf("%s: body %q missing %q", tc.name, errBody.Error, tc.msg)
+		}
+	}
+}
+
+// TestWideFaultJob runs a fault-simulation job end to end through the
+// daemon: submit with fault_sim, poll to completion, and check the
+// fault_coverage section survives the JSON round trip with full coverage
+// of the inverter ring's collapsed fault list.
+func TestWideFaultJob(t *testing.T) {
+	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 4})
+	var sub jobView
+	resp := ts.submit(t, jobRequest{
+		Netlist: testNetlist, Engine: "vector", Workers: 1, Horizon: 64,
+		Lanes: 64, FaultSim: true, FaultStatuses: true,
+	}, &sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	v := ts.await(t, sub.ID, 10*time.Second)
+	if v.State != jobDone {
+		t.Fatalf("state %s (error %q)", v.State, v.Error)
+	}
+	cov := v.Result.FaultCoverage
+	if cov == nil {
+		t.Fatal("fault job result has no fault_coverage")
+	}
+	// The ring collapses every inverter output into the clock node: one
+	// site, two polarities, both detected at the ring's sink.
+	if cov.Total != 2 || cov.Detected != 2 {
+		t.Fatalf("coverage %d/%d, want 2/2; statuses %+v", cov.Detected, cov.Total, cov.Faults)
+	}
+	if len(cov.Faults) != 2 {
+		t.Fatalf("fault_statuses rows = %d, want 2", len(cov.Faults))
+	}
+	for _, st := range cov.Faults {
+		if !strings.Contains(st.Site, "clk") || !st.Detected || st.Step < 0 {
+			t.Fatalf("unexpected status row %+v", st)
+		}
+	}
+	if len(v.Result.LaneFinal) != 0 {
+		t.Fatalf("fault job reported %d lane rows, want none", len(v.Result.LaneFinal))
 	}
 }
 

@@ -1,0 +1,43 @@
+package stats
+
+import "fmt"
+
+// FaultStatus is the outcome of one simulated stuck-at fault. The JSON
+// field tags are part of the stable run-report schema, like the
+// WorkerCounters fields.
+type FaultStatus struct {
+	Site     string `json:"site"`     // e.g. "alu_y[3]:sa1"
+	Detected bool   `json:"detected"` // diverged from the good machine at an observation node
+	Step     int64  `json:"step"`     // first detection step, -1 when undetected
+}
+
+// FaultCoverage summarises a concurrent stuck-at fault simulation: how
+// many collapsed faults were simulated, how many the stimulus detected,
+// and how the work was chunked into passes of (lanes-1) faults.
+type FaultCoverage struct {
+	Total     int           `json:"total"`               // collapsed faults simulated
+	Detected  int           `json:"detected"`            // faults observed diverging from lane 0
+	Collapsed int           `json:"collapsed,omitempty"` // equivalent faults removed before simulation
+	Passes    int           `json:"passes"`              // chunked passes run
+	Lanes     int           `json:"lanes"`               // plane lanes per pass (1 good + lanes-1 faulty)
+	Faults    []FaultStatus `json:"faults,omitempty"`    // per-fault rows when requested
+}
+
+// Coverage returns detected/total in [0, 1], or 0 with an empty list.
+func (f *FaultCoverage) Coverage() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Detected) / float64(f.Total)
+}
+
+// String formats a one-line summary, e.g.
+// "fault coverage 93.8% (30/32 collapsed faults, 1 pass of 64 lanes)".
+func (f *FaultCoverage) String() string {
+	passes := "passes"
+	if f.Passes == 1 {
+		passes = "pass"
+	}
+	return fmt.Sprintf("fault coverage %.1f%% (%d/%d collapsed faults, %d %s of %d lanes)",
+		100*f.Coverage(), f.Detected, f.Total, f.Passes, passes, f.Lanes)
+}

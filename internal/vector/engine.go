@@ -12,7 +12,7 @@ type eng struct{}
 func (eng) Name() string { return "vector" }
 
 func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*engine.Report, error) {
-	res, err := RunContext(ctx, c, Options{
+	opts := Options{
 		Workers:    cfg.Workers,
 		Horizon:    cfg.Horizon,
 		Probe:      cfg.Probe,
@@ -22,11 +22,21 @@ func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*eng
 		Lanes:      cfg.Lanes,
 		LaneStride: cfg.LaneStride,
 		ProbeLane:  cfg.ProbeLane,
-	})
+	}
+	if cfg.FaultSim {
+		opts.FaultSim = &FaultOptions{
+			MaxPasses:    cfg.FaultMaxPasses,
+			KeepStatuses: cfg.FaultStatuses,
+		}
+	}
+	res, err := RunContext(ctx, c, opts)
 	if res == nil {
 		return nil, err
 	}
-	return &engine.Report{Run: res.Run, Final: res.Final, LaneFinal: res.LaneFinal}, err
+	return &engine.Report{
+		Run: res.Run, Final: res.Final, LaneFinal: res.LaneFinal,
+		FaultCoverage: res.FaultCoverage,
+	}, err
 }
 
 func init() {

@@ -161,13 +161,32 @@ func valueFromIndex(w int, idx uint64) logic.Value {
 	return logic.FromStates(states)
 }
 
+// kernelProofWidths lists the plane widths every kernel is proven at: one
+// word (the PR 5 baseline) and a multi-word plane, so the word loops in
+// every kernel are exercised with cross-word lane populations.
+var kernelProofWidths = []int{logic.MaxLanes, 4 * logic.MaxLanes}
+
 // TestKernelsMatchScalarExhaustive proves every compiled kernel against the
-// element's scalar registry evaluation. For every kind in the registry and
-// every shape: all four-state input combinations are enumerated (64 per
-// step, one per lane) and, for stateful kinds, extended with random
-// multi-step sequences so capture/hold behaviour is compared against a
-// per-lane scalar oracle carrying its own element state.
+// element's scalar registry evaluation, at every width in
+// kernelProofWidths. For every kind in the registry and every shape: all
+// four-state input combinations are enumerated (lanes per step, one per
+// lane) and, for stateful kinds, extended with random multi-step sequences
+// so capture/hold behaviour is compared against a per-lane scalar oracle
+// carrying its own element state.
 func TestKernelsMatchScalarExhaustive(t *testing.T) {
+	testKernelsAtWidth(t, kernelProofWidths[0])
+}
+
+// TestWideKernelsMatchScalarExhaustive is the multi-word run of the same
+// proof; a separate test function so the CI wide-lane job (-run Wide)
+// exercises it in isolation.
+func TestWideKernelsMatchScalarExhaustive(t *testing.T) {
+	for _, lanes := range kernelProofWidths[1:] {
+		testKernelsAtWidth(t, lanes)
+	}
+}
+
+func testKernelsAtWidth(t *testing.T, lanes int) {
 	for _, kind := range circuit.AllKinds() {
 		shapes, listed := kernelShapes[kind]
 		if !listed {
@@ -181,17 +200,18 @@ func TestKernelsMatchScalarExhaustive(t *testing.T) {
 			continue
 		}
 		for si, sh := range shapes {
-			t.Run(fmt.Sprintf("%s/%d", circuit.KindName(kind), si), func(t *testing.T) {
-				proveKernel(t, kind, sh)
+			t.Run(fmt.Sprintf("lanes%d/%s/%d", lanes, circuit.KindName(kind), si), func(t *testing.T) {
+				proveKernel(t, kind, sh, lanes)
 			})
 		}
 	}
 }
 
-func proveKernel(t *testing.T, kind circuit.Kind, sh kernelShape) {
+func proveKernel(t *testing.T, kind circuit.Kind, sh kernelShape, lanes int) {
 	c, el := buildShape(t, kind, sh)
 	lay := newLayout(c)
-	kern := compileElem(c, el, lay, logic.MaxLanes)
+	kern := compileElem(c, el, lay, lanes)
+	words := logic.PlaneWords(lanes)
 
 	// Total input combination count: 4^w options per input.
 	totalBits := 0
@@ -201,7 +221,7 @@ func proveKernel(t *testing.T, kind circuit.Kind, sh kernelShape) {
 	combos := uint64(1) << uint(totalBits)
 
 	stateful := el.NumStateVals() > 0
-	steps := int((combos + logic.MaxLanes - 1) / logic.MaxLanes)
+	steps := int((combos + uint64(lanes) - 1) / uint64(lanes))
 	if stateful {
 		// Sequences matter: append random steps so edges and holds are
 		// exercised against the oracle's persistent state.
@@ -209,7 +229,7 @@ func proveKernel(t *testing.T, kind circuit.Kind, sh kernelShape) {
 	}
 
 	// Per-lane scalar oracle state.
-	oracleState := make([][]logic.Value, logic.MaxLanes)
+	oracleState := make([][]logic.Value, lanes)
 	if n := el.NumStateVals(); n > 0 {
 		for l := range oracleState {
 			oracleState[l] = make([]logic.Value, n)
@@ -217,18 +237,18 @@ func proveKernel(t *testing.T, kind circuit.Kind, sh kernelShape) {
 		}
 	}
 
-	cur := make([]logic.Plane, lay.total)
-	next := make([]logic.Plane, lay.total)
-	rng := rand.New(rand.NewSource(int64(kind)*7919 + int64(totalBits)))
+	cur := newWidePlanes(lay.total, words)
+	next := newWidePlanes(lay.total, words)
+	rng := rand.New(rand.NewSource(int64(kind)*7919 + int64(totalBits) + int64(lanes)))
 
-	inVals := make([][]logic.Value, logic.MaxLanes)
+	inVals := make([][]logic.Value, lanes)
 	oracleIn := make([]logic.Value, len(sh.ins))
 	oracleOut := make([]logic.Value, len(sh.outs))
 	for step := 0; step < steps; step++ {
 		// Choose and pack each lane's input combination.
-		for l := 0; l < logic.MaxLanes; l++ {
-			idx := uint64(step*logic.MaxLanes+l) % combos
-			if uint64(step*logic.MaxLanes+l) >= combos {
+		for l := 0; l < lanes; l++ {
+			idx := uint64(step*lanes+l) % combos
+			if uint64(step*lanes+l) >= combos {
 				idx = rng.Uint64() % combos
 			}
 			vals := make([]logic.Value, len(sh.ins))
@@ -240,21 +260,21 @@ func proveKernel(t *testing.T, kind circuit.Kind, sh kernelShape) {
 			inVals[l] = vals
 			for i, n := range el.In {
 				o := int(lay.off[n])
-				logic.PackLane(cur[o:o+sh.ins[i]], l, vals[i])
+				logic.PackLaneWide(cur[o:o+sh.ins[i]], l, vals[i])
 			}
 		}
 
 		kern.run(cur, next)
 
-		for l := 0; l < logic.MaxLanes; l++ {
+		for l := 0; l < lanes; l++ {
 			copy(oracleIn, inVals[l])
 			el.Eval(oracleIn, oracleState[l], oracleOut)
 			for oi, n := range el.Out {
 				o, w := int(lay.off[n]), sh.outs[oi]
-				got := logic.ExtractLane(next[o:o+w], l, w)
+				got := logic.ExtractLaneWide(next[o:o+w], l, w)
 				if got != oracleOut[oi] {
-					t.Fatalf("step %d lane %d in=%v: out %d = %v, want %v",
-						step, l, inVals[l], oi, got, oracleOut[oi])
+					t.Fatalf("lanes %d step %d lane %d in=%v: out %d = %v, want %v",
+						lanes, step, l, inVals[l], oi, got, oracleOut[oi])
 				}
 			}
 		}

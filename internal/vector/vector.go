@@ -1,13 +1,15 @@
 // Package vector implements a bit-parallel batched compiled-mode simulator:
-// up to 64 independent stimulus lanes advance through the same circuit
-// simultaneously, one lane per bit of a machine word. Node state is a pair
-// of bit planes (value/unknown), every element is compiled to a plane-op
-// kernel that evaluates all lanes with a handful of word-wide boolean
-// instructions, and the step loop is the same statically partitioned,
-// barrier-per-step structure as the scalar compiled engine. Lane 0 replays
-// the scalar stimulus bit for bit; the remaining lanes carry seed-shifted
-// variants, so one run answers "what do 64 stimulus vectors do" for roughly
-// the cost of one scalar run.
+// N independent stimulus lanes advance through the same circuit
+// simultaneously, 64 lanes per machine word and as many words per plane as
+// the run requests. Node state is a pair of bit planes (value/unknown),
+// every element is compiled to a plane-op kernel that evaluates all lanes
+// with word-wide boolean instructions looped over the plane words, and the
+// step loop is the same statically partitioned, barrier-per-step structure
+// as the scalar compiled engine — so the lane axis and the worker axis
+// multiply. Lane 0 replays the scalar stimulus bit for bit; the remaining
+// lanes carry seed-shifted variants (or, in fault-simulation mode, injected
+// stuck-at faults), so one run answers "what do N stimulus vectors do" for
+// roughly the cost of one scalar run.
 package vector
 
 import (
@@ -37,8 +39,9 @@ type Options struct {
 	Strategy partition.Strategy
 	Guard    *guard.Supervisor
 
-	// Lanes is the number of live stimulus lanes (1..logic.MaxLanes;
-	// 0 defaults to the full 64).
+	// Lanes is the number of live stimulus lanes (1..logic.MaxWideLanes;
+	// 0 defaults to 64, one plane word). Lane counts beyond 64 widen every
+	// plane to ceil(Lanes/64) words.
 	Lanes int
 	// LaneStride offsets rand/gray generator seeds per lane: lane k runs
 	// with Seed + k*LaneStride. 0 defaults to 1. Lane 0 always keeps the
@@ -47,6 +50,12 @@ type Options struct {
 	// ProbeLane selects the lane Probe observes and Final reports
 	// (default 0, the scalar-identical lane). Must be < Lanes.
 	ProbeLane int
+
+	// FaultSim, when non-nil, switches the run to concurrent stuck-at
+	// fault simulation: every lane carries the same stimulus (LaneStride
+	// is forced to 0), lane 0 simulates the good machine and lanes 1..N
+	// carry one injected fault each from the list. See fault.go.
+	FaultSim *FaultOptions
 }
 
 // Result is the outcome of a batched run.
@@ -58,6 +67,9 @@ type Result struct {
 	// LaneFinal holds every lane's final node values: LaneFinal[k][n] is
 	// node n as lane k saw it.
 	LaneFinal [][]logic.Value
+	// FaultCoverage reports fault-simulation results when Options.FaultSim
+	// was set, nil otherwise.
+	FaultCoverage *stats.FaultCoverage
 }
 
 type sim struct {
@@ -66,11 +78,12 @@ type sim struct {
 	p    int
 
 	lay      layout
-	laneMask uint64
+	words    int
+	laneMask []uint64
 
-	buf   [2][]logic.Plane // double-buffered node planes
-	parts [][]kernel       // per-worker kernels in level order
-	gens  [][]genKernel    // per-worker generator kernels
+	buf   [2][]logic.WidePlane // double-buffered node planes
+	parts [][]kernel           // per-worker kernels in level order
+	gens  [][]genKernel        // per-worker generator kernels
 	bar   *barrier.Barrier
 
 	wc     []stats.WorkerCounters
@@ -80,6 +93,9 @@ type sim struct {
 	// publishes it during step stopAt-1; the step barrier makes the write
 	// visible to all workers before any of them reaches step stopAt.
 	stopAt atomic.Int64
+
+	// fault is the per-pass fault-simulation state, nil outside fault mode.
+	fault *faultPass
 }
 
 // Run simulates the circuit in batched compiled mode.
@@ -97,8 +113,8 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 	if opts.Lanes == 0 {
 		opts.Lanes = logic.MaxLanes
 	}
-	if opts.Lanes < 1 || opts.Lanes > logic.MaxLanes {
-		return nil, fmt.Errorf("vector: lanes %d out of range [1,%d]", opts.Lanes, logic.MaxLanes)
+	if opts.Lanes < 1 || opts.Lanes > logic.MaxWideLanes {
+		return nil, fmt.Errorf("vector: lanes %d out of range [1,%d]", opts.Lanes, logic.MaxWideLanes)
 	}
 	if opts.LaneStride == 0 {
 		opts.LaneStride = 1
@@ -106,17 +122,28 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 	if opts.ProbeLane < 0 || opts.ProbeLane >= opts.Lanes {
 		return nil, fmt.Errorf("vector: probe lane %d outside [0,%d)", opts.ProbeLane, opts.Lanes)
 	}
+	if opts.FaultSim != nil {
+		return runFaultSim(ctx, c, opts)
+	}
+	return runPass(ctx, c, opts, nil)
+}
+
+// runPass runs one batched simulation pass. fp, when non-nil, carries the
+// fault-injection state of one fault-simulation pass.
+func runPass(ctx context.Context, c *circuit.Circuit, opts Options, fp *faultPass) (*Result, error) {
 	p := opts.Workers
 	s := &sim{
 		c:        c,
 		opts:     opts,
 		p:        p,
 		lay:      newLayout(c),
-		laneMask: laneMask(opts.Lanes),
+		words:    logic.PlaneWords(opts.Lanes),
+		laneMask: logic.LaneMasks(opts.Lanes),
 		bar:      barrier.New(p),
 		wc:       make([]stats.WorkerCounters, p),
 		cancel:   engine.WatchCancel(ctx),
 		chaos:    opts.Guard.Chaos(),
+		fault:    fp,
 	}
 	defer s.cancel.Release()
 	opts.Guard.OnTrip(s.bar.Abort)
@@ -138,12 +165,14 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 		w := i % p
 		s.gens[w] = append(s.gens[w], compileGen(c, &c.Elems[g], s.lay, opts.Lanes, opts.LaneStride))
 	}
+	if fp != nil {
+		fp.bind(s)
+	}
 
 	for side := range s.buf {
-		s.buf[side] = make([]logic.Plane, s.lay.total)
-		allX := logic.PlaneBroadcast(logic.X)
+		s.buf[side] = newWidePlanes(s.lay.total, s.words)
 		for i := range s.buf[side] {
-			s.buf[side][i] = allX
+			s.buf[side][i].Fill(logic.X)
 		}
 	}
 	// Generators assume their t=0 values before the first step, mirroring
@@ -157,19 +186,28 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 			var changed uint64
 			for b := 0; b < wd; b++ {
 				cv, nv := s.buf[1][o+b], s.buf[0][o+b]
-				changed |= (cv.V ^ nv.V) | (cv.U ^ nv.U)
+				for ww := 0; ww < s.words; ww++ {
+					changed |= ((cv.V[ww] ^ nv.V[ww]) | (cv.U[ww] ^ nv.U[ww])) & s.laneMask[ww]
+				}
 			}
-			changed &= s.laneMask
 			if changed == 0 {
 				continue
 			}
-			copy(s.buf[1][o:o+wd], s.buf[0][o:o+wd])
+			for b := 0; b < wd; b++ {
+				copyWide(s.buf[1][o+b], s.buf[0][o+b])
+			}
 			s.wc[0].NodeUpdates++
-			if opts.Probe != nil && changed>>uint(opts.ProbeLane)&1 != 0 {
+			if opts.Probe != nil && s.probeLaneChangedInit(o, wd) {
 				opts.Probe.OnChange(g.out.node, 0,
-					logic.ExtractLane(s.buf[0][o:o+wd], opts.ProbeLane, wd))
+					logic.ExtractLaneWide(s.buf[0][o:o+wd], opts.ProbeLane, wd))
 			}
 		}
+	}
+	// Faults present from t=0 must be injected into both buffer sides so
+	// the first step already reads the faulty machine state.
+	if fp != nil {
+		fp.inject(s.buf[0])
+		fp.inject(s.buf[1])
 	}
 
 	start := time.Now()
@@ -215,19 +253,27 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result,
 	return res, s.cancel.Err(ctx)
 }
 
-func laneMask(lanes int) uint64 {
-	if lanes >= logic.MaxLanes {
-		return ^uint64(0)
+// probeLaneChangedInit reports whether the probe lane's value differs from
+// the t=0 write just copied between the buffer sides; used only on the
+// init path where "changed" means "differs from the all-X reset".
+func (s *sim) probeLaneChangedInit(o, w int) bool {
+	lw, lb := s.opts.ProbeLane>>6, uint(s.opts.ProbeLane&63)
+	for b := 0; b < w; b++ {
+		nv := s.buf[0][o+b]
+		// reset state is all-X: V=0, U=all ones
+		if nv.V[lw]>>lb&1 != 0 || nv.U[lw]>>lb&1 == 0 {
+			return true
+		}
 	}
-	return 1<<uint(lanes) - 1
+	return false
 }
 
-func (s *sim) extractLane(planes []logic.Plane, lane int) []logic.Value {
+func (s *sim) extractLane(planes []logic.WidePlane, lane int) []logic.Value {
 	vals := make([]logic.Value, len(s.c.Nodes))
 	for n := range s.c.Nodes {
 		w := s.c.Nodes[n].Width
 		o := int(s.lay.off[n])
-		vals[n] = logic.ExtractLane(planes[o:o+w], lane, w)
+		vals[n] = logic.ExtractLaneWide(planes[o:o+w], lane, w)
 	}
 	return vals
 }
@@ -255,6 +301,12 @@ func (s *sim) worker(id int) {
 		cur := s.buf[t&1]
 		next := s.buf[(t+1)&1]
 
+		// Fault detection observes the settled values of step t before
+		// this step's kernels overwrite the other buffer side.
+		if s.fault != nil {
+			s.fault.observe(id, t, cur)
+		}
+
 		for i := range gens {
 			g := &gens[i]
 			g.write(t+1, next)
@@ -274,6 +326,11 @@ func (s *sim) worker(id int) {
 				s.noteSpan(id, sp, t+1, cur, next)
 			}
 		}
+		// Re-assert injected faults on the freshly written side: a stuck
+		// node stays stuck no matter what its driver computed.
+		if s.fault != nil {
+			s.fault.injectWorker(id, next)
+		}
 
 		t0 := time.Now()
 		s.wc[id].BarrierWaits++
@@ -289,20 +346,34 @@ func (s *sim) worker(id int) {
 // counting a node update when any live lane changed and firing the probe
 // when the observed lane did. Only the node's single driver calls this for
 // a given span, so the counters race with nobody.
-func (s *sim) noteSpan(id int, sp span, t circuit.Time, cur, next []logic.Plane) {
+func (s *sim) noteSpan(id int, sp span, t circuit.Time, cur, next []logic.WidePlane) {
 	o, w := int(sp.off), int(sp.w)
 	var changed uint64
+scan:
 	for b := 0; b < w; b++ {
 		cv, nv := cur[o+b], next[o+b]
-		changed |= (cv.V ^ nv.V) | (cv.U ^ nv.U)
+		for ww := 0; ww < s.words; ww++ {
+			changed |= ((cv.V[ww] ^ nv.V[ww]) | (cv.U[ww] ^ nv.U[ww])) & s.laneMask[ww]
+			if changed != 0 {
+				break scan // one changed live lane counts; no need to scan on
+			}
+		}
 	}
-	changed &= s.laneMask
 	if changed == 0 {
 		return
 	}
 	s.wc[id].NodeUpdates++
-	if s.opts.Probe != nil && changed>>uint(s.opts.ProbeLane)&1 != 0 {
+	if s.opts.Probe == nil {
+		return
+	}
+	lw, lb := s.opts.ProbeLane>>6, uint(s.opts.ProbeLane&63)
+	var probeChanged uint64
+	for b := 0; b < w; b++ {
+		cv, nv := cur[o+b], next[o+b]
+		probeChanged |= ((cv.V[lw] ^ nv.V[lw]) | (cv.U[lw] ^ nv.U[lw])) & s.laneMask[lw]
+	}
+	if probeChanged>>lb&1 != 0 {
 		s.opts.Probe.OnChange(sp.node, t,
-			logic.ExtractLane(next[o:o+w], s.opts.ProbeLane, w))
+			logic.ExtractLaneWide(next[o:o+w], s.opts.ProbeLane, w))
 	}
 }

@@ -120,7 +120,7 @@ func TestOptionValidation(t *testing.T) {
 	c := gen.RandomUnitCircuit(1, 20)
 	cases := []Options{
 		{Workers: 1, Horizon: 10, Lanes: -1},
-		{Workers: 1, Horizon: 10, Lanes: 65},
+		{Workers: 1, Horizon: 10, Lanes: logic.MaxWideLanes + 1},
 		{Workers: 1, Horizon: 10, Lanes: 4, ProbeLane: 4},
 		{Workers: 1, Horizon: 10, ProbeLane: -1},
 		{Workers: 0, Horizon: 10},

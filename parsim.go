@@ -99,6 +99,10 @@ type (
 	// WorkerCounters is the uniform per-worker counter row every algorithm
 	// reports in RunStats.PerWorker.
 	WorkerCounters = stats.WorkerCounters
+	// FaultCoverage summarises a concurrent stuck-at fault-simulation run.
+	FaultCoverage = stats.FaultCoverage
+	// FaultStatus is one fault's detection row inside a FaultCoverage.
+	FaultStatus = stats.FaultStatus
 	// Strategy selects a compiled-mode partitioner.
 	Strategy = partition.Strategy
 )
@@ -110,6 +114,10 @@ const (
 	X = logic.X
 	Z = logic.Z
 )
+
+// MaxLanes is the widest lane count a Vector run accepts: 64 lanes per
+// machine word times the widest supported plane.
+const MaxLanes = logic.MaxWideLanes
 
 // Element kinds, re-exported with friendlier names.
 const (
@@ -211,11 +219,14 @@ const (
 	// contribution is exactly the incremental valid-time advancement that
 	// makes these deadlocks impossible; Result.Rounds counts them.
 	ChandyMisra
-	// Vector is the bit-parallel batched compiled-mode algorithm: up to 64
+	// Vector is the bit-parallel batched compiled-mode algorithm: N
 	// independent stimulus lanes advance through the circuit simultaneously,
-	// one lane per bit of a machine word, with every element compiled to a
-	// word-wide plane-op kernel. Lane 0 replays the scalar stimulus exactly;
-	// Options.Lanes/LaneStride/ProbeLane control the batch.
+	// 64 lanes per machine word and as many words per node plane as the run
+	// requests (up to MaxLanes), with every element compiled to a word-wide
+	// plane-op kernel looped over the plane words. Lane 0 replays the scalar
+	// stimulus exactly; Options.Lanes/LaneStride/ProbeLane control the
+	// batch, and Options.FaultSim turns the lane axis into a concurrent
+	// stuck-at fault simulator.
 	Vector
 )
 
@@ -268,15 +279,28 @@ type Options struct {
 	// consumed without evaluating the gate model.
 	GateLookahead bool
 	// Lanes is the number of independent stimulus vectors a Vector run
-	// packs into each machine word (1..64; 0 defaults to 64). LaneStride
-	// offsets rand/gray generator seeds per lane (lane k runs with
-	// Seed + k*LaneStride; 0 defaults to 1), and ProbeLane selects which
-	// lane feeds Probe and Result.Final (default 0, the lane whose
+	// simulates at once (1..MaxLanes; 0 defaults to 64, one machine word —
+	// larger counts widen every node plane to ceil(Lanes/64) words).
+	// LaneStride offsets rand/gray generator seeds per lane (lane k runs
+	// with Seed + k*LaneStride; 0 defaults to 1), and ProbeLane selects
+	// which lane feeds Probe and Result.Final (default 0, the lane whose
 	// stimulus — and therefore whose history — is bit-identical to a
 	// scalar run). The scalar algorithms ignore all three.
 	Lanes      int
 	LaneStride int64
 	ProbeLane  int
+	// FaultSim switches a Vector run to concurrent stuck-at fault
+	// simulation: lane 0 simulates the good machine, every other lane
+	// carries the same stimulus plus one injected fault from the circuit's
+	// collapsed single stuck-at list, and a fault is detected when its
+	// lane's value at a sink node diverges from lane 0 with both known.
+	// Fault lists larger than Lanes-1 chunk into multiple passes;
+	// FaultMaxPasses caps the chunk loop (0 = run the whole list) and
+	// FaultStatuses includes the per-fault site/step rows in the coverage
+	// report. Only the Vector algorithm accepts FaultSim.
+	FaultSim       bool
+	FaultMaxPasses int
+	FaultStatuses  bool
 	// Lint selects the pre-flight static analysis applied before any
 	// algorithm runs: LintOff (default), LintWarn (refuse circuits with
 	// Error diagnostics such as zero-delay combinational cycles), or
@@ -306,6 +330,9 @@ type Result struct {
 	// LaneFinal holds every lane's final node values (Vector only):
 	// LaneFinal[k][n] is node n at the horizon as stimulus lane k saw it.
 	LaneFinal [][]Value
+	// FaultCoverage reports concurrent fault-simulation results
+	// (Vector with Options.FaultSim only).
+	FaultCoverage *FaultCoverage
 	// Messages counts inter-worker messages (DistAsync only).
 	Messages int64
 	// Rollbacks, Cancelled and PeakLog quantify optimistic execution
@@ -354,38 +381,42 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		fallback = Sequential.String()
 	}
 	rep, err := engine.Run(ctx, opts.Algorithm.String(), c, engine.Config{
-		Workers:       opts.Workers,
-		Horizon:       opts.Horizon,
-		Probe:         opts.Probe,
-		CostSpin:      opts.CostSpin,
-		Strategy:      opts.Strategy,
-		NoSteal:       opts.NoSteal,
-		CentralQueue:  opts.CentralQueue,
-		NoLookahead:   opts.NoLookahead,
-		GateLookahead: opts.GateLookahead,
-		Lint:          opts.Lint,
-		Watchdog:      opts.Watchdog,
-		Fallback:      fallback,
-		Chaos:         opts.Chaos,
-		Lanes:         opts.Lanes,
-		LaneStride:    opts.LaneStride,
-		ProbeLane:     opts.ProbeLane,
+		Workers:        opts.Workers,
+		Horizon:        opts.Horizon,
+		Probe:          opts.Probe,
+		CostSpin:       opts.CostSpin,
+		Strategy:       opts.Strategy,
+		NoSteal:        opts.NoSteal,
+		CentralQueue:   opts.CentralQueue,
+		NoLookahead:    opts.NoLookahead,
+		GateLookahead:  opts.GateLookahead,
+		Lint:           opts.Lint,
+		Watchdog:       opts.Watchdog,
+		Fallback:       fallback,
+		Chaos:          opts.Chaos,
+		Lanes:          opts.Lanes,
+		LaneStride:     opts.LaneStride,
+		ProbeLane:      opts.ProbeLane,
+		FaultSim:       opts.FaultSim,
+		FaultMaxPasses: opts.FaultMaxPasses,
+		FaultStatuses:  opts.FaultStatuses,
 	})
 	if rep == nil {
 		return nil, err
 	}
 	tot := rep.Run.Totals()
 	return &Result{
-		Stats:     rep.Run,
-		Final:     rep.Final,
-		LaneFinal: rep.LaneFinal,
-		Messages:  tot.Messages,
-		Rollbacks: tot.Rollbacks,
-		Cancelled: tot.Cancelled,
-		PeakLog:   rep.PeakLog,
-		Rounds:    rep.Rounds,
-		Degraded:  rep.Degraded,
-		Fault:     rep.Fault,
+		Stats:         rep.Run,
+		Final:         rep.Final,
+		LaneFinal:     rep.LaneFinal,
+		FaultCoverage: rep.FaultCoverage,
+		Messages:      tot.Messages,
+		Rollbacks:     tot.Rollbacks,
+		Cancelled:     tot.Cancelled,
+		PeakLog:       rep.PeakLog,
+		Rounds:        rep.Rounds,
+		Degraded:      rep.Degraded,
+		Fault:         rep.Fault,
 	}, err
 }
 

@@ -35,28 +35,30 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 // node values serialise as Verilog-style literals ("4'b10xz"); the fault,
 // if any, as its message.
 type resultJSON struct {
-	Stats     RunStats   `json:"stats"`
-	Final     []string   `json:"final,omitempty"`
-	LaneFinal [][]string `json:"lane_final,omitempty"`
-	Messages  int64      `json:"messages,omitempty"`
-	Rollbacks int64      `json:"rollbacks,omitempty"`
-	Cancelled int64      `json:"cancelled,omitempty"`
-	PeakLog   int64      `json:"peak_log,omitempty"`
-	Rounds    int64      `json:"rounds,omitempty"`
-	Degraded  bool       `json:"degraded,omitempty"`
-	Fault     string     `json:"fault,omitempty"`
+	Stats         RunStats       `json:"stats"`
+	Final         []string       `json:"final,omitempty"`
+	LaneFinal     [][]string     `json:"lane_final,omitempty"`
+	FaultCoverage *FaultCoverage `json:"fault_coverage,omitempty"`
+	Messages      int64          `json:"messages,omitempty"`
+	Rollbacks     int64          `json:"rollbacks,omitempty"`
+	Cancelled     int64          `json:"cancelled,omitempty"`
+	PeakLog       int64          `json:"peak_log,omitempty"`
+	Rounds        int64          `json:"rounds,omitempty"`
+	Degraded      bool           `json:"degraded,omitempty"`
+	Fault         string         `json:"fault,omitempty"`
 }
 
 // MarshalJSON serialises the result to the stable run-report schema.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	out := resultJSON{
-		Stats:     r.Stats,
-		Messages:  r.Messages,
-		Rollbacks: r.Rollbacks,
-		Cancelled: r.Cancelled,
-		PeakLog:   r.PeakLog,
-		Rounds:    r.Rounds,
-		Degraded:  r.Degraded,
+		Stats:         r.Stats,
+		FaultCoverage: r.FaultCoverage,
+		Messages:      r.Messages,
+		Rollbacks:     r.Rollbacks,
+		Cancelled:     r.Cancelled,
+		PeakLog:       r.PeakLog,
+		Rounds:        r.Rounds,
+		Degraded:      r.Degraded,
 	}
 	if r.Fault != nil {
 		out.Fault = r.Fault.Error()
@@ -83,13 +85,14 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*r = Result{
-		Stats:     in.Stats,
-		Messages:  in.Messages,
-		Rollbacks: in.Rollbacks,
-		Cancelled: in.Cancelled,
-		PeakLog:   in.PeakLog,
-		Rounds:    in.Rounds,
-		Degraded:  in.Degraded,
+		Stats:         in.Stats,
+		FaultCoverage: in.FaultCoverage,
+		Messages:      in.Messages,
+		Rollbacks:     in.Rollbacks,
+		Cancelled:     in.Cancelled,
+		PeakLog:       in.PeakLog,
+		Rounds:        in.Rounds,
+		Degraded:      in.Degraded,
 	}
 	if in.Fault != "" {
 		r.Fault = errors.New(in.Fault)
