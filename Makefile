@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: build test race vet lint chaos serve-test check figures \
-	bench-diff bench-vector bench-vector2 bench-fault wide-test \
+.PHONY: build test race vet lint chaos serve-test auto-test check figures \
+	bench-diff bench-vector bench-vector2 bench-fault bench-auto wide-test \
 	fuzz fuzz-smoke clean
 
 build:
@@ -36,7 +36,13 @@ chaos:
 serve-test:
 	$(GO) test -race -timeout 5m -count=1 ./internal/server
 
-check: build vet lint test race chaos serve-test
+## auto-test runs the engine-selection suite under the race detector: the
+## static profiler's golden fingerprints, the cost-model predictions, and
+## the auto engine's end-to-end selection path.
+auto-test:
+	$(GO) test -race -timeout 5m -count=1 ./internal/analyze ./internal/machine ./internal/auto
+
+check: build vet lint test race chaos serve-test auto-test
 
 ## figures regenerates the quick machine-readable benchmark snapshot.
 figures:
@@ -74,6 +80,12 @@ bench-vector2:
 ## circuits; the series are deterministic.
 bench-fault:
 	$(GO) run ./cmd/figures -fig f1 -mode real -json BENCH_fault.json
+
+## bench-auto regenerates the engine-selection snapshot (a1): engine=auto's
+## measured wall against the best of every engine x worker combination on
+## the paper circuits; acceptance is ratio >= 0.9 everywhere.
+bench-auto:
+	$(GO) run ./cmd/figures -fig a1 -mode real -quick -json BENCH_auto.json
 
 ## wide-test runs the wide-plane and fault-simulation suites under the
 ## race detector — the same leg CI's wide-lane job runs.

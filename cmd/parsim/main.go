@@ -27,6 +27,12 @@
 // -fault-passes caps the chunked passes; -fault-statuses lists every fault
 // site with its detection step in the JSON report.
 //
+// -engine selects the engine by registry name and overrides -alg; its
+// headline value is `-engine auto`, which profiles the circuit statically,
+// ranks every engine through the cost model, and runs the predicted winner
+// (the selection is printed, and lands under "selected" in the JSON
+// report). -workers then acts as a budget the winner may undershoot.
+//
 // -lint warn|strict runs the static analyzer before simulating and refuses
 // hazardous circuits (zero-delay combinational cycles, undriven inputs).
 // The analyze subcommand runs the same analyzer standalone:
@@ -35,6 +41,13 @@
 //	parsim analyze -bench feedback-chain -json
 //
 // Exit status 1 when the report contains Error-severity diagnostics.
+//
+// The profile subcommand prints the static fingerprint engine=auto selects
+// on — levelization, fanout, activity estimate, feedback census, partition
+// cut quality — plus the ranked per-engine predictions for a worker budget:
+//
+//	parsim profile -bench mult16-gate -workers 8
+//	parsim profile -netlist adder.net -json
 package main
 
 import (
@@ -50,6 +63,7 @@ import (
 	"parsim"
 	"parsim/internal/analyze"
 	"parsim/internal/engine"
+	"parsim/internal/machine"
 	"parsim/internal/partition"
 )
 
@@ -58,10 +72,15 @@ func main() {
 		runAnalyze(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		runProfile(os.Args[2:])
+		return
+	}
 	var (
 		netlistPath = flag.String("netlist", "", "netlist file to simulate")
 		benchName   = flag.String("bench", "", "built-in benchmark circuit: inverter-array, mult16-gate, mult16-func, microprocessor, feedback-chain")
 		algName     = flag.String("alg", "async", "algorithm: "+strings.Join(engine.Names(), ", ")+" (or an alias: seq, event, async, dist, tw, cm)")
+		engName     = flag.String("engine", "", "engine registry name, overrides -alg; \"auto\" profiles the circuit and runs the cost model's predicted winner")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel workers")
 		horizon     = flag.Int64("horizon", 1000, "simulation horizon in ticks")
 		timeout     = flag.Duration("timeout", 0, "cancel the run after this wall-clock duration (0 = none)")
@@ -104,7 +123,7 @@ func main() {
 	if *faults {
 		algSet := false
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "alg" {
+			if f.Name == "alg" || f.Name == "engine" {
 				algSet = true
 			}
 		})
@@ -112,12 +131,16 @@ func main() {
 			*algName = "vector"
 		}
 	}
-	alg, err := parsim.ParseAlgorithm(*algName)
+	name := *algName
+	if *engName != "" {
+		name = *engName
+	}
+	eng, err := engine.Get(name)
 	if err != nil {
 		fatal(err)
 	}
 	opts := parsim.Options{
-		Algorithm:      alg,
+		Engine:         eng.Name(),
 		Workers:        *workers,
 		Horizon:        parsim.Time(*horizon),
 		CostSpin:       *spin,
@@ -133,7 +156,7 @@ func main() {
 		FaultMaxPasses: *faultPasses,
 		FaultStatuses:  *faultStat,
 	}
-	if alg == parsim.Sequential {
+	if eng.Name() == parsim.Sequential.String() {
 		opts.Workers = 1
 	}
 
@@ -182,7 +205,17 @@ func main() {
 	} else {
 		if res.Degraded {
 			fmt.Printf("%s engine failed (%v); results below come from the sequential fallback\n",
-				alg, res.Fault)
+				eng.Name(), res.Fault)
+		}
+		if sel := res.Selected; sel != nil {
+			fmt.Printf("auto selected %s (workers %d", sel.Engine, sel.Workers)
+			if sel.Strategy != "" {
+				fmt.Printf(", strategy %s", sel.Strategy)
+			}
+			if sel.Lanes > 0 {
+				fmt.Printf(", lanes %d", sel.Lanes)
+			}
+			fmt.Printf(", confidence %.2f)\n", sel.Confidence)
 		}
 		fmt.Println(res.Stats.String())
 		if res.FaultCoverage != nil {
@@ -242,6 +275,65 @@ func runAnalyze(argv []string) {
 	}
 	if errs, _, _ := rep.Counts(); errs > 0 {
 		os.Exit(1)
+	}
+}
+
+// runProfile implements the profile subcommand: compute the static circuit
+// fingerprint and the ranked per-engine predictions the auto engine selects
+// from, without running a simulation.
+func runProfile(argv []string) {
+	fs := flag.NewFlagSet("parsim profile", flag.ExitOnError)
+	var (
+		netlistPath = fs.String("netlist", "", "netlist file to profile")
+		benchName   = fs.String("bench", "", "built-in benchmark circuit (see parsim -help)")
+		workers     = fs.Int("workers", runtime.NumCPU(), "worker budget for the engine predictions")
+		lanes       = fs.Int("lanes", 0, "stimulus lanes the job would use (forces the vector engine when > 1)")
+		spin        = fs.Int64("spin", 0, "synthetic work multiplier per evaluation, as -spin on a run")
+		jsonOut     = fs.Bool("json", false, "emit profile and predictions as JSON instead of text")
+	)
+	if err := fs.Parse(argv); err != nil {
+		fatal(err)
+	}
+	c, err := loadCircuit(*netlistPath, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+	prof := parsim.Profile(c)
+	preds := machine.Predict(prof, machine.PredictOptions{
+		MaxWorkers: *workers,
+		Lanes:      *lanes,
+		CostSpin:   *spin,
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		err := enc.Encode(struct {
+			Profile     *parsim.CircuitProfile `json:"profile"`
+			Predictions []machine.Prediction   `json:"predictions"`
+			Confidence  float64                `json:"confidence"`
+		}{prof, preds, machine.Confidence(preds)})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := prof.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nengine predictions (budget %d workers, confidence %.2f):\n",
+		*workers, machine.Confidence(preds))
+	for i, pr := range preds {
+		line := fmt.Sprintf("  %d. %-17s span %10.1f  workers %d", i+1, pr.Engine, pr.Span, pr.Workers)
+		if pr.Strategy != "" {
+			line += "  strategy " + pr.Strategy
+		}
+		if pr.Lanes > 0 {
+			line += fmt.Sprintf("  lanes %d", pr.Lanes)
+		}
+		if !pr.Eligible {
+			line += "  [ineligible: " + pr.Reason + "]"
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -173,6 +173,35 @@ type Report struct {
 	// original engine's error.
 	Degraded bool
 	Fault    error
+	// Selected records the decision of an engine=auto run: which engine the
+	// static profile + cost model picked, at what configuration, with the
+	// full ranking and the profile that justified it. Nil for direct runs.
+	Selected *Selection
+}
+
+// Choice is one ranked entry from the auto-selection cost model.
+type Choice struct {
+	Engine   string  `json:"engine"`
+	Workers  int     `json:"workers"`
+	Strategy string  `json:"strategy,omitempty"`
+	Lanes    int     `json:"lanes,omitempty"`
+	Span     float64 `json:"span"`
+	Eligible bool    `json:"eligible"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// Selection is the outcome of cost-model-driven engine selection
+// (engine=auto): the winning configuration, a confidence score from the
+// span gap to the runner-up, the full per-engine ranking, and the static
+// profile the prediction was computed from.
+type Selection struct {
+	Engine     string                  `json:"engine"`
+	Workers    int                     `json:"workers"`
+	Strategy   string                  `json:"strategy,omitempty"`
+	Lanes      int                     `json:"lanes,omitempty"`
+	Confidence float64                 `json:"confidence"`
+	Ranking    []Choice                `json:"ranking,omitempty"`
+	Profile    *analyze.CircuitProfile `json:"profile,omitempty"`
 }
 
 // Engine is one simulation algorithm. Run simulates c over [0,

@@ -139,8 +139,12 @@ func Generate(id string, cfg Config) (*Figure, error) {
 		// Fault-simulation coverage behind BENCH_fault.json (`make
 		// bench-fault`); deterministic series, real wall in the notes.
 		return f1(cfg), nil
+	case "a1":
+		// Real-only too: engine=auto against the measured best-of-eight
+		// (`make bench-auto` writes BENCH_auto.json).
+		return a1(cfg), nil
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1, v2, f1)", id, strings.Join(IDs(), ", "))
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1, v2, f1, a1)", id, strings.Join(IDs(), ", "))
 }
 
 // procSweep returns the processor counts for curves: 1..8 then evens.

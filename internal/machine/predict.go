@@ -1,0 +1,279 @@
+package machine
+
+import (
+	"math"
+	"sort"
+
+	"parsim/internal/analyze"
+)
+
+// This file extends the virtual-machine cost model from replaying traces
+// (EventDriven/Compiled/Async over a sequential run) to predicting runtime
+// from a static analyze.CircuitProfile alone: no simulation, no traces.
+// The predictions drive engine=auto — given a profile and a worker budget,
+// Predict ranks every engine's best configuration by estimated per-tick
+// cost. The absolute units are arbitrary; only the ordering and the
+// relative gaps matter, and the knobs below are calibrated on the four
+// paper circuits against measured wall-clock (the a1 harness experiment).
+
+// PredictOptions parameterises a prediction.
+type PredictOptions struct {
+	// MaxWorkers is the worker budget; each engine is swept over
+	// 1,2,4,... up to this cap and ranked at its best count.
+	MaxWorkers int
+	// Lanes > 1 marks a batched job (only the vector engine applies).
+	Lanes int
+	// CostSpin mirrors Config.CostSpin: synthetic per-evaluation work that
+	// shifts the balance from dispatch overhead to evaluation cost.
+	CostSpin int64
+	// Cost supplies the shared machine parameters (barriers, contention).
+	Cost CostModel
+}
+
+// Prediction is one engine's best predicted configuration.
+type Prediction struct {
+	Engine   string  `json:"engine"`
+	Workers  int     `json:"workers"`
+	Strategy string  `json:"strategy,omitempty"`
+	Lanes    int     `json:"lanes,omitempty"`
+	// Span is the predicted cost of simulating one tick, abstract units.
+	Span     float64 `json:"span"`
+	Eligible bool    `json:"eligible"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// Model knobs specific to static prediction, separate from CostModel so the
+// trace-replay models keep their paper calibration. Values are tuned so the
+// ranking reproduces the measured ordering on the paper circuits.
+const (
+	// Per-evaluation dispatch overhead, in cost units, for the dynamically
+	// scheduled engines: heap pops, valid-time checks, activation queues.
+	// The asynchronous family runs leaner than the synchronous event-driven
+	// engine (paper §5: async is 1-3x faster on one processor).
+	edOverhead    = 6.0
+	asyncOverhead = 2.5
+	// Compiled-mode per-element dispatch: a jump through a precompiled
+	// schedule, far below any queue.
+	compiledOverhead = 1.0
+	// spinDiv converts Config.CostSpin into extra cost units per unit of
+	// element cost (CostSpin=300 roughly triples a cost-1 gate evaluation
+	// relative to its dispatch).
+	spinDiv = 100.0
+	// vectorPenalty is the scalar-job handicap of the vector engine: plane
+	// bookkeeping makes one lane cost more than the compiled engine's
+	// scalar pass, so vector only wins batched jobs.
+	vectorPenalty = 1.3
+	// chandyMisraPenalty scales the conservative null-message machinery.
+	chandyMisraPenalty = 1.35
+	// timeWarpBase/timeWarpSeq model optimistic overhead: state saving on
+	// every step plus rollback risk that grows with sequential depth.
+	timeWarpBase = 1.7
+	timeWarpSeq  = 1.5
+	// distMsgCost is the per-cut-event message cost of the
+	// distributed-async engine's mailbox transport.
+	distMsgCost = 12.0
+	// contentionBeta scales the fanout-contention penalty of the
+	// asynchronous family: engines that lock per node serialise behind wide
+	// fanouts, so their work dilates with ln(edge-weighted mean fanout).
+	// Calibrated on the measured one-worker walls of the paper circuits
+	// (async/event-driven ratio: inverter array 1.0 at edge fanout 1,
+	// gate-level multiplier 1.35 at 3.7, microprocessor 2.05 at 38.8).
+	contentionBeta = 0.6
+)
+
+// Predict ranks every engine's best configuration for the profiled circuit
+// under the given budget: eligible engines first, ordered by predicted
+// span. The slice always contains one entry per engine.
+func Predict(p *analyze.CircuitProfile, opts PredictOptions) []Prediction {
+	if opts.MaxWorkers < 1 {
+		opts.MaxWorkers = 1
+	}
+	zero := CostModel{}
+	if opts.Cost == zero {
+		opts.Cost = DefaultCostModel()
+	}
+	m := &predictor{p: p, opts: opts}
+	preds := []Prediction{
+		m.sequential(),
+		m.eventDriven(),
+		m.compiled(),
+		m.vector(),
+		m.async("asynchronous", 1, 0),
+		m.async("chandy-misra", chandyMisraPenalty, 0),
+		m.async("time-warp", timeWarpBase+timeWarpSeq*p.SeqFraction, 0),
+		m.async("distributed-async", 1.1, distMsgCost),
+	}
+	sort.SliceStable(preds, func(i, j int) bool {
+		a, b := preds[i], preds[j]
+		if a.Eligible != b.Eligible {
+			return a.Eligible
+		}
+		if a.Span != b.Span {
+			return a.Span < b.Span
+		}
+		return a.Engine < b.Engine
+	})
+	return preds
+}
+
+// Confidence scores a ranking: the relative span gap between the two best
+// eligible predictions, in [0, 1]. One eligible engine scores 1.
+func Confidence(preds []Prediction) float64 {
+	var spans []float64
+	for _, pr := range preds {
+		if pr.Eligible {
+			spans = append(spans, pr.Span)
+		}
+	}
+	if len(spans) < 2 || spans[1] <= 0 {
+		return 1
+	}
+	c := 1 - spans[0]/spans[1]
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+type predictor struct {
+	p    *analyze.CircuitProfile
+	opts PredictOptions
+}
+
+// workerSweep returns 1, 2, 4, ... capped at the budget, budget included.
+func (m *predictor) workerSweep() []int {
+	var ps []int
+	for p := 1; p < m.opts.MaxWorkers; p *= 2 {
+		ps = append(ps, p)
+	}
+	return append(ps, m.opts.MaxWorkers)
+}
+
+// spin is the evaluation-cost multiplier from Config.CostSpin.
+func (m *predictor) spin() float64 { return 1 + float64(m.opts.CostSpin)/spinDiv }
+
+// dynWork is the per-tick evaluation work of a dynamically scheduled engine
+// with the given dispatch overhead: activity-weighted cost plus per-event
+// scheduling.
+func (m *predictor) dynWork(overhead float64) float64 {
+	return m.p.EvalsPerTick*overhead + m.p.EvalCostPerTick*m.spin()
+}
+
+// bestStrategy picks the partition strategy with the lowest imbalance at
+// the given worker count (ties to the lower cut fraction, then name order).
+func (m *predictor) bestStrategy(workers int) analyze.CutQuality {
+	best := analyze.CutQuality{Imbalance: math.MaxFloat64}
+	for _, s := range []string{"blocks", "cost-lpt", "round-robin"} {
+		cq := m.p.CutAt(s, workers)
+		cq.Strategy = s
+		if cq.Imbalance < best.Imbalance ||
+			(cq.Imbalance == best.Imbalance && cq.CutFraction < best.CutFraction) {
+			best = cq
+		}
+	}
+	return best
+}
+
+func (m *predictor) sequential() Prediction {
+	// One worker, one heap, no barriers, no contention — but also none of
+	// the parallel engine's distributed queues: every event goes through the
+	// single global heap. Measured one-worker walls on the paper circuits
+	// have event-driven at or slightly below sequential everywhere, so the
+	// reference engine carries a small dispatch surcharge and serves as the
+	// ranking's baseline rather than its winner.
+	return Prediction{
+		Engine:   "sequential",
+		Workers:  1,
+		Span:     m.dynWork(edOverhead + 0.5),
+		Eligible: true,
+	}
+}
+
+func (m *predictor) eventDriven() Prediction {
+	cm := m.opts.Cost
+	work := m.dynWork(edOverhead)
+	// Barriers close every active tick; idle ticks are skipped cheaply.
+	active := math.Min(1, m.p.EvalsPerTick)
+	best := Prediction{Engine: "event-driven", Eligible: true, Span: math.MaxFloat64}
+	for _, p := range m.workerSweep() {
+		span := cm.dilation(p) * work / float64(p)
+		if p > 1 {
+			span += 2 * (cm.BarrierBase + cm.BarrierPerP*float64(p)) * active
+		}
+		if span < best.Span {
+			best.Span, best.Workers = span, p
+		}
+	}
+	return best
+}
+
+func (m *predictor) compiled() Prediction {
+	cm := m.opts.Cost
+	// Every element evaluates every tick, active or not.
+	n := float64(m.p.Elements - m.p.Generators)
+	work := n*compiledOverhead + float64(m.p.TotalCost)*m.spin()
+	best := Prediction{Engine: "compiled", Eligible: true, Span: math.MaxFloat64}
+	for _, p := range m.workerSweep() {
+		cq := m.bestStrategy(p)
+		span := cm.dilation(p) * work / float64(p) * cq.Imbalance
+		if p > 1 {
+			span += cm.BarrierBase + cm.BarrierPerP*float64(p)
+		}
+		if span < best.Span {
+			best.Span, best.Workers, best.Strategy = span, p, cq.Strategy
+		}
+	}
+	if !m.p.UnitDelay {
+		best.Eligible = false
+		best.Reason = "non-unit delays: compiled-mode rank-order results diverge from event timing"
+	}
+	return best
+}
+
+func (m *predictor) vector() Prediction {
+	best := m.compiled()
+	best.Engine = "vector"
+	best.Span *= vectorPenalty
+	best.Lanes = m.opts.Lanes
+	if best.Lanes < 1 {
+		best.Lanes = 1
+	}
+	if m.opts.Lanes > 1 && best.Eligible {
+		// A batched job amortises the whole pass over every lane; no scalar
+		// engine can compete, and none of them produces LaneFinal at all.
+		best.Span /= float64(m.opts.Lanes)
+	}
+	if !m.p.UnitDelay {
+		best.Reason = "non-unit delays: compiled-mode rank-order results diverge from event timing"
+	}
+	return best
+}
+
+// async models the conservative asynchronous family: no barriers, work
+// split across workers, but serialised by the hottest element and by
+// feedback loops (paper §4.1: a loop degenerates to one event at a time).
+// penalty scales the whole engine; msgCost charges cut-edge traffic.
+func (m *predictor) async(name string, penalty, msgCost float64) Prediction {
+	cm := m.opts.Cost
+	contention := 1 + contentionBeta*math.Log(math.Max(1, m.p.EdgeFanout))
+	work := m.dynWork(asyncOverhead) * contention
+	serial := math.Max(
+		m.p.MaxRateCost*m.spin()+asyncOverhead,
+		m.p.LoopSerialCost*m.spin())
+	best := Prediction{Engine: name, Eligible: true, Span: math.MaxFloat64}
+	for _, p := range m.workerSweep() {
+		span := cm.dilation(p) * work / float64(p)
+		if p > 1 {
+			span += cm.LockCost * m.p.EvalsPerTick / float64(p)
+			if msgCost > 0 {
+				cq := m.p.CutAt("blocks", p)
+				span += msgCost * m.p.EvalsPerTick * cq.CutFraction / float64(p)
+			}
+		}
+		span = math.Max(span, serial) * penalty
+		if span < best.Span {
+			best.Span, best.Workers = span, p
+		}
+	}
+	return best
+}

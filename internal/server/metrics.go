@@ -47,10 +47,23 @@ type metrics struct {
 	runMS       stats.Histogram // dispatch -> finish, milliseconds
 
 	perEngine map[string]*engineTotals
+
+	autoSelected map[string]int64 // engine=auto jobs, keyed by the engine the cost model picked
 }
 
 func newMetrics() *metrics {
-	return &metrics{perEngine: make(map[string]*engineTotals)}
+	return &metrics{
+		perEngine:    make(map[string]*engineTotals),
+		autoSelected: make(map[string]int64),
+	}
+}
+
+// onAutoSelect counts one engine=auto job by the engine the cost model
+// handed the run to.
+func (m *metrics) onAutoSelect(engineName string) {
+	m.mu.Lock()
+	m.autoSelected[engineName]++
+	m.mu.Unlock()
 }
 
 func (m *metrics) onSubmit() {
@@ -184,6 +197,19 @@ func (m *metrics) render(w io.Writer, g gauges) {
 			func(t *engineTotals) int64 { return t.nodeUpdates })
 		engineCounter("parsimd_engine_events_used_total", "Input events consumed across finished jobs, by engine.",
 			func(t *engineTotals) int64 { return t.eventsUsed })
+	}
+
+	if len(m.autoSelected) > 0 {
+		selected := make([]string, 0, len(m.autoSelected))
+		for name := range m.autoSelected {
+			selected = append(selected, name)
+		}
+		sort.Strings(selected)
+		fmt.Fprintf(w, "# HELP parsimd_auto_selected_total engine=auto jobs, by the engine the cost model selected.\n")
+		fmt.Fprintf(w, "# TYPE parsimd_auto_selected_total counter\n")
+		for _, eng := range selected {
+			fmt.Fprintf(w, "parsimd_auto_selected_total{engine=%q} %d\n", eng, m.autoSelected[eng])
+		}
 	}
 }
 

@@ -541,6 +541,9 @@ func (s *Server) runJob(j *job) {
 	if rep != nil {
 		tot = rep.Run.Totals()
 		degraded = rep.Degraded
+		if rep.Selected != nil {
+			s.met.onAutoSelect(rep.Selected.Engine)
+		}
 	}
 	s.met.onFinish(j.engine, state, degraded, end.Sub(start), tot)
 }
@@ -565,6 +568,7 @@ func resultFromReport(rep *engine.Report) *parsim.Result {
 		Rounds:        rep.Rounds,
 		Degraded:      rep.Degraded,
 		Fault:         rep.Fault,
+		Selected:      rep.Selected,
 	}
 }
 

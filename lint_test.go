@@ -44,10 +44,28 @@ func TestLintRefusesZeroDelayRingAllEngines(t *testing.T) {
 	algos := []Algorithm{
 		Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector,
 	}
-	if got := len(engine.Names()); got != len(algos) {
+	// The registry additionally carries "auto" (engine selection), which has
+	// no Algorithm constant; its lint refusal is covered below via
+	// Options.Engine.
+	if got := len(engine.Names()); got != len(algos)+1 {
 		t.Fatalf("registry has %d engines (%v), test covers %d — keep them in sync",
-			got, engine.Names(), len(algos))
+			got, engine.Names(), len(algos)+1)
 	}
+	t.Run("auto/strict", func(t *testing.T) {
+		c := buildZeroDelayRing(t)
+		_, err := Simulate(c, Options{
+			Engine:  "auto",
+			Horizon: 8,
+			Workers: 2,
+			Lint:    LintStrict,
+		})
+		if err == nil {
+			t.Fatal("auto accepted a zero-delay ring under strict lint")
+		}
+		if !strings.Contains(err.Error(), "lint") {
+			t.Errorf("error should name the lint refusal, got: %v", err)
+		}
+	})
 	for _, algo := range algos {
 		for _, mode := range []LintMode{LintWarn, LintStrict} {
 			t.Run(algo.String()+"/"+mode.String(), func(t *testing.T) {

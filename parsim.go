@@ -59,6 +59,7 @@ import (
 	// Each simulator package self-registers its engine(s) with
 	// internal/engine from init; these imports populate the registry that
 	// Simulate dispatches through.
+	_ "parsim/internal/auto"
 	_ "parsim/internal/core"
 	_ "parsim/internal/dist"
 	_ "parsim/internal/parevent"
@@ -256,6 +257,13 @@ func (a Algorithm) String() string {
 // Options configures Simulate.
 type Options struct {
 	Algorithm Algorithm
+	// Engine, when non-empty, selects the engine by registry name and
+	// overrides Algorithm. This is how names without an Algorithm constant
+	// are reached — above all "auto", which profiles the circuit
+	// statically, ranks every engine through the cost model, and runs the
+	// predicted winner (Result.Selected records the decision; Workers acts
+	// as a budget the winner may undershoot but never exceed).
+	Engine string
 	Horizon   Time  // simulate t in [0, Horizon); required
 	Workers   int   // parallel workers; default 1
 	Probe     Probe // optional concurrency-safe observer
@@ -348,7 +356,28 @@ type Result struct {
 	// Fault holds the original algorithm's error.
 	Degraded bool
 	Fault    error
+	// Selected records an engine=auto run's decision: the winning engine
+	// and configuration, the per-engine ranking, and the static circuit
+	// profile that justified it. Nil for directly selected algorithms.
+	Selected *Selection
 }
+
+// Auto-selection surface, re-exported from the implementation packages.
+type (
+	// Selection is the decision record of an engine=auto run.
+	Selection = engine.Selection
+	// SelectionChoice is one ranked entry inside a Selection.
+	SelectionChoice = engine.Choice
+	// CircuitProfile is the static structural fingerprint computed by
+	// Profile and embedded in every Selection.
+	CircuitProfile = analyze.CircuitProfile
+)
+
+// Profile computes a circuit's static structural fingerprint — levelized
+// depth and widths, fanout histogram, sequential/combinational mix,
+// activity estimate, feedback census, partition cut quality — without
+// running any simulation. This is the evidence engine=auto selects on.
+func Profile(c *Circuit) *CircuitProfile { return analyze.Profile(c) }
 
 // Simulate runs the selected algorithm over [0, Horizon). All algorithms
 // produce identical node histories (Compiled on unit-delay circuits); they
@@ -380,7 +409,11 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 	if opts.Fallback {
 		fallback = Sequential.String()
 	}
-	rep, err := engine.Run(ctx, opts.Algorithm.String(), c, engine.Config{
+	name := opts.Engine
+	if name == "" {
+		name = opts.Algorithm.String()
+	}
+	rep, err := engine.Run(ctx, name, c, engine.Config{
 		Workers:        opts.Workers,
 		Horizon:        opts.Horizon,
 		Probe:          opts.Probe,
@@ -417,6 +450,7 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		Rounds:        rep.Rounds,
 		Degraded:      rep.Degraded,
 		Fault:         rep.Fault,
+		Selected:      rep.Selected,
 	}, err
 }
 

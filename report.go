@@ -46,6 +46,7 @@ type resultJSON struct {
 	Rounds        int64          `json:"rounds,omitempty"`
 	Degraded      bool           `json:"degraded,omitempty"`
 	Fault         string         `json:"fault,omitempty"`
+	Selected      *Selection     `json:"selected,omitempty"`
 }
 
 // MarshalJSON serialises the result to the stable run-report schema.
@@ -59,6 +60,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		PeakLog:       r.PeakLog,
 		Rounds:        r.Rounds,
 		Degraded:      r.Degraded,
+		Selected:      r.Selected,
 	}
 	if r.Fault != nil {
 		out.Fault = r.Fault.Error()
@@ -93,6 +95,7 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		PeakLog:       in.PeakLog,
 		Rounds:        in.Rounds,
 		Degraded:      in.Degraded,
+		Selected:      in.Selected,
 	}
 	if in.Fault != "" {
 		r.Fault = errors.New(in.Fault)

@@ -24,7 +24,7 @@ type Analyzer struct {
 }
 
 // analyzers is the registry applied by main to every non-test file.
-var analyzers = []*Analyzer{legacyAtomic, mixedAccess, counterCopy, respWrite}
+var analyzers = []*Analyzer{legacyAtomic, mixedAccess, counterCopy, respWrite, ctxpoll, globalrand}
 
 // counterFields are the per-worker counters of stats.WorkerCounters. The
 // counter-copy check uses them to recognise lost-update mutations of a
@@ -337,6 +337,10 @@ func exprText(e ast.Expr) string {
 		return e.Value
 	case *ast.CallExpr:
 		return exprText(e.Fun) + "(...)"
+	case *ast.BinaryExpr:
+		return exprText(e.X) + " " + e.Op.String() + " " + exprText(e.Y)
+	case *ast.ParenExpr:
+		return "(" + exprText(e.X) + ")"
 	}
 	return "?"
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// engineFile reports whether the parsed file lives under internal/ — the
+// engine and kernel code the hot-loop and randomness conventions apply to.
+// Fixtures in tests opt in by parsing with an internal/-prefixed filename.
+func engineFile(fset *token.FileSet, f *ast.File) bool {
+	name := filepath.ToSlash(fset.Position(f.Pos()).Filename)
+	return strings.Contains(name, "internal/")
+}
+
+// pollNames are the calls that count as observing cancellation inside a hot
+// loop: the guard's cooperative flag (Cancelled), a context poll (Err,
+// Done), or an errgroup-style check.
+var pollNames = map[string]bool{"Cancelled": true, "Err": true, "Done": true}
+
+// ctxpoll flags simulation hot loops that evaluate elements without ever
+// polling for cancellation. An engine's main loop — unbounded (`for {`) or
+// driven by the horizon (`for now <= cfg.Horizon`) — that calls some
+// `*.Eval(...)` but never checks Cancelled/Err/Done cannot be stopped by
+// context cancellation or the supervisor's abort flag: the run only ends at
+// the horizon, which on a livelocked circuit is never. Every engine's loop
+// polls today; the check keeps it that way.
+//
+// Purely syntactic, scoped to internal/ files. Nested function literals are
+// their own scope on both sides: an Eval inside a spawned goroutine belongs
+// to that goroutine's loop, and a poll inside a closure does not guard the
+// outer loop body.
+var ctxpoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "flag unbounded/horizon-driven loops that call Eval without polling Cancelled/Err/Done",
+	Run: func(fset *token.FileSet, f *ast.File) []Diagnostic {
+		if !engineFile(fset, f) {
+			return nil
+		}
+		var out []Diagnostic
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if loop.Cond != nil && !strings.Contains(exprText(loop.Cond), "Horizon") {
+				return true // bounded by something other than the horizon
+			}
+			evalPos := token.NoPos
+			polls := false
+			inspectSameFunc(loop.Body, func(m ast.Node) {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				switch {
+				case sel.Sel.Name == "Eval":
+					if evalPos == token.NoPos {
+						evalPos = call.Pos()
+					}
+				case pollNames[sel.Sel.Name]:
+					polls = true
+				}
+			})
+			if evalPos != token.NoPos && !polls {
+				out = append(out, Diagnostic{
+					Pos:  fset.Position(evalPos),
+					Code: "ctxpoll",
+					Msg: fmt.Sprintf("hot loop at %s evaluates elements but never polls Cancelled/Err/Done: the run cannot be cancelled or aborted by the supervisor",
+						fset.Position(loop.Pos())),
+				})
+			}
+			return true
+		})
+		return out
+	},
+}
+
+// inspectSameFunc walks n without descending into nested function literals.
+func inspectSameFunc(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+// globalRandFuncs are math/rand's package-level convenience functions, all
+// backed by the shared global source. New/NewSource are the sanctioned
+// constructors and are not listed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+// globalrand flags calls through math/rand's global source in internal/
+// code. The simulators promise reproducibility: every stochastic choice
+// (rand/gray stimulus, fuzz circuits, partition tie-breaks) must flow from
+// an explicit seeded *rand.Rand so two runs with the same seed are
+// byte-identical. The global source is shared mutable state — seeded once
+// per process, perturbed by any other caller, and a data race magnet in
+// parallel engines.
+var globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flag math/rand global-source calls in internal/; use an explicit seeded rand.New(rand.NewSource(...))",
+	Run: func(fset *token.FileSet, f *ast.File) []Diagnostic {
+		if !engineFile(fset, f) {
+			return nil
+		}
+		pkg := ""
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				if imp.Name != nil {
+					pkg = imp.Name.Name
+				} else {
+					pkg = "rand"
+				}
+			}
+		}
+		if pkg == "" || pkg == "_" || pkg == "." {
+			return nil
+		}
+		var out []Diagnostic
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkg && globalRandFuncs[sel.Sel.Name] {
+				out = append(out, Diagnostic{
+					Pos:  fset.Position(call.Pos()),
+					Code: "globalrand",
+					Msg: fmt.Sprintf("%s.%s uses math/rand's global source: derive from an explicit seeded rand.New(rand.NewSource(seed)) so runs reproduce",
+						pkg, sel.Sel.Name),
+				})
+			}
+			return true
+		})
+		return out
+	},
+}

@@ -10,8 +10,15 @@ import (
 // apply parses src and runs every registered analyzer over it.
 func apply(t *testing.T, src string) []Diagnostic {
 	t.Helper()
+	return applyAs(t, "src.go", src)
+}
+
+// applyAs parses src under the given filename — the path-scoped analyzers
+// (ctxpoll, globalrand) only fire on files under internal/.
+func applyAs(t *testing.T, filename, src string) []Diagnostic {
+	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -234,6 +241,151 @@ func notAHandler(n int) int { return n + 1 }
 	for _, d := range apply(t, src) {
 		if d.Code == "respwrite" {
 			t.Fatalf("correct status-then-body order flagged: %+v", d)
+		}
+	}
+}
+
+func TestCtxpollUnboundedLoopFlagged(t *testing.T) {
+	src := `package p
+
+type kern struct{}
+
+func (kern) Eval(id int) {}
+
+func run(k kern) {
+	for {
+		k.Eval(0) // never polls: cannot be cancelled
+	}
+}
+`
+	diags := applyAs(t, "internal/fake/engine.go", src)
+	if len(diags) != 1 || diags[0].Code != "ctxpoll" {
+		t.Fatalf("unpollable hot loop not flagged: %v", codes(diags))
+	}
+}
+
+func TestCtxpollHorizonLoopFlagged(t *testing.T) {
+	src := `package p
+
+type cfg struct{ Horizon int64 }
+
+type kern struct{}
+
+func (kern) Eval(id int) {}
+
+func run(k kern, c cfg) {
+	for now := int64(0); now <= c.Horizon; now++ {
+		k.Eval(0)
+	}
+}
+`
+	diags := applyAs(t, "internal/fake/engine.go", src)
+	if len(diags) != 1 || diags[0].Code != "ctxpoll" {
+		t.Fatalf("horizon-driven loop without poll not flagged: %v", codes(diags))
+	}
+}
+
+func TestCtxpollPollingLoopClean(t *testing.T) {
+	src := `package p
+
+type sup struct{}
+
+func (sup) Cancelled() bool { return false }
+
+type kern struct{}
+
+func (kern) Eval(id int) {}
+
+func run(k kern, s sup) {
+	for {
+		if s.Cancelled() {
+			return
+		}
+		k.Eval(0)
+	}
+}
+
+func bounded(k kern, lanes int) {
+	for l := 0; l < lanes; l++ { // bounded by data, not the horizon
+		k.Eval(l)
+	}
+}
+`
+	for _, d := range applyAs(t, "internal/fake/engine.go", src) {
+		if d.Code == "ctxpoll" {
+			t.Fatalf("polling or bounded loop flagged: %+v", d)
+		}
+	}
+}
+
+func TestCtxpollOutsideInternalIgnored(t *testing.T) {
+	src := `package p
+
+type kern struct{}
+
+func (kern) Eval(id int) {}
+
+func run(k kern) {
+	for {
+		k.Eval(0)
+	}
+}
+`
+	for _, d := range applyAs(t, "cmd/fake/main.go", src) {
+		if d.Code == "ctxpoll" {
+			t.Fatalf("non-internal file flagged: %+v", d)
+		}
+	}
+}
+
+func TestGlobalRandFlagged(t *testing.T) {
+	src := `package p
+
+import "math/rand"
+
+func pick(n int) int { return rand.Intn(n) }
+
+func seed() { rand.Seed(42) }
+`
+	diags := applyAs(t, "internal/fake/gen.go", src)
+	n := 0
+	for _, d := range diags {
+		if d.Code == "globalrand" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("want 2 globalrand findings (Intn, Seed), got %v", codes(diags))
+	}
+}
+
+func TestGlobalRandSeededSourceClean(t *testing.T) {
+	src := `package p
+
+import "math/rand"
+
+func pick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+`
+	for _, d := range applyAs(t, "internal/fake/gen.go", src) {
+		if d.Code == "globalrand" {
+			t.Fatalf("seeded local source flagged: %+v", d)
+		}
+	}
+}
+
+func TestGlobalRandOutsideInternalIgnored(t *testing.T) {
+	src := `package p
+
+import "math/rand"
+
+func pick(n int) int { return rand.Intn(n) }
+`
+	for _, d := range applyAs(t, "tools/fake/main.go", src) {
+		if d.Code == "globalrand" {
+			t.Fatalf("non-internal file flagged: %+v", d)
 		}
 	}
 }
