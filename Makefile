@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test race vet lint chaos serve-test auto-test check figures \
-	bench-diff bench-vector bench-vector2 bench-fault bench-auto wide-test \
-	fuzz fuzz-smoke clean
+.PHONY: build test race vet lint chaos serve-test auto-test ckpt-test check \
+	figures bench-diff bench-vector bench-vector2 bench-fault bench-auto \
+	bench-ckpt wide-test fuzz fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,18 @@ serve-test:
 auto-test:
 	$(GO) test -race -timeout 5m -count=1 ./internal/analyze ./internal/machine ./internal/auto
 
-check: build vet lint test race chaos serve-test auto-test
+## ckpt-test runs the crash-durability suite under the race detector: the
+## snapshot codec (round-trip, corruption, the FuzzCheckpoint corpus), the
+## async coalescing writer, bit-identical resume on every engine, the
+## parsimd job journal + restart recovery, and the end-to-end kill -9
+## daemon test.
+ckpt-test:
+	$(GO) test -race -timeout 5m -count=1 -run 'TestResume' .
+	$(GO) test -race -timeout 5m -count=1 ./internal/checkpoint
+	$(GO) test -race -timeout 5m -count=1 -run 'TestJournal|TestRecovery|TestDrainResume' ./internal/server
+	$(GO) test -race -timeout 5m -count=1 ./cmd/parsimd
+
+check: build vet lint test race chaos serve-test auto-test ckpt-test
 
 ## figures regenerates the quick machine-readable benchmark snapshot.
 figures:
@@ -86,6 +97,13 @@ bench-fault:
 ## the paper circuits; acceptance is ratio >= 0.9 everywhere.
 bench-auto:
 	$(GO) run ./cmd/figures -fig a1 -mode real -quick -json BENCH_auto.json
+
+## bench-ckpt regenerates the checkpointing-overhead snapshot (c1): the
+## compiled engine on the four paper circuits, plain vs checkpointing at
+## the default capture interval and write gap, measured in process CPU
+## time; acceptance is <=1.05x on every circuit.
+bench-ckpt:
+	$(GO) run ./cmd/figures -fig c1 -mode real -json BENCH_ckpt.json
 
 ## wide-test runs the wide-plane and fault-simulation suites under the
 ## race detector — the same leg CI's wide-lane job runs.

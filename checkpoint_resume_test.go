@@ -1,0 +1,242 @@
+package parsim
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// vcdBytes renders rec as a VCD; resumed runs must reproduce these bytes
+// exactly.
+func vcdBytes(t *testing.T, c *Circuit, rec *Recorder, horizon Time) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, c, rec, horizon); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sameFinals(t *testing.T, label string, want, got []Value) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d final values, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("%s: node %d final %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// testResumeBitIdentical runs base three ways — uninterrupted, checkpointed
+// to completion, and resumed from the last periodic snapshot — and asserts
+// the three runs are indistinguishable: final node states, lane finals, VCD
+// bytes and work counters all match.
+func testResumeBitIdentical(t *testing.T, c *Circuit, base Options) {
+	t.Helper()
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+
+	recA := NewRecorder()
+	oA := base
+	oA.Probe = recA
+	resA, err := Simulate(c.Clone(), oA)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	vcdA := vcdBytes(t, c, recA, base.Horizon)
+
+	recB := NewRecorder()
+	oB := base
+	oB.Probe = recB
+	oB.Checkpoint = ckpt
+	oB.CheckpointEvery = 64
+	resB, err := Simulate(c.Clone(), oB)
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if resB.Resumed {
+		t.Error("checkpointed run reports Resumed")
+	}
+	sameFinals(t, "checkpointed vs reference", resA.Final, resB.Final)
+	if !bytes.Equal(vcdA, vcdBytes(t, c, recB, base.Horizon)) {
+		t.Error("checkpointing perturbed the VCD output")
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	recC := NewRecorder()
+	oC := base
+	oC.Probe = recC
+	oC.ResumeFrom = ckpt
+	resC, err := Simulate(c.Clone(), oC)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !resC.Resumed {
+		t.Error("resumed run does not report Resumed")
+	}
+	sameFinals(t, "resumed vs reference", resA.Final, resC.Final)
+	if len(resA.LaneFinal) != len(resC.LaneFinal) {
+		t.Fatalf("lane finals: %d lanes, want %d", len(resC.LaneFinal), len(resA.LaneFinal))
+	}
+	for l := range resA.LaneFinal {
+		sameFinals(t, "lane final", resA.LaneFinal[l], resC.LaneFinal[l])
+	}
+	if !bytes.Equal(vcdA, vcdBytes(t, c, recC, base.Horizon)) {
+		t.Error("resumed VCD differs from the uninterrupted run's")
+	}
+	ta, tc := resA.Stats.Totals(), resC.Stats.Totals()
+	if ta.NodeUpdates != tc.NodeUpdates || ta.Evals != tc.Evals ||
+		ta.BarrierWaits != tc.BarrierWaits || ta.EventsUsed != tc.EventsUsed {
+		t.Errorf("resumed counters diverge: updates %d/%d evals %d/%d waits %d/%d events %d/%d",
+			tc.NodeUpdates, ta.NodeUpdates, tc.Evals, ta.Evals,
+			tc.BarrierWaits, ta.BarrierWaits, tc.EventsUsed, ta.EventsUsed)
+	}
+	if resA.Stats.TimeSteps != resC.Stats.TimeSteps {
+		t.Errorf("resumed TimeSteps = %d, want %d", resC.Stats.TimeSteps, resA.Stats.TimeSteps)
+	}
+}
+
+func TestResumeSequential(t *testing.T) {
+	testResumeBitIdentical(t, RandomCircuit(5, 60),
+		Options{Algorithm: Sequential, Horizon: 300})
+}
+
+func TestResumeSequentialUnitDelay(t *testing.T) {
+	testResumeBitIdentical(t, RandomUnitCircuit(3, 60),
+		Options{Algorithm: Sequential, Horizon: 300})
+}
+
+func TestResumeCompiled(t *testing.T) {
+	testResumeBitIdentical(t, RandomUnitCircuit(3, 60),
+		Options{Algorithm: Compiled, Horizon: 300, Workers: 3})
+}
+
+func TestResumeVector(t *testing.T) {
+	testResumeBitIdentical(t, RandomUnitCircuit(7, 80),
+		Options{Algorithm: Vector, Horizon: 300, Workers: 2, Lanes: 8})
+}
+
+func TestResumeVectorWide(t *testing.T) {
+	testResumeBitIdentical(t, RandomUnitCircuit(11, 48),
+		Options{Algorithm: Vector, Horizon: 300, Workers: 2, Lanes: 96, LaneStride: 3, ProbeLane: 65})
+}
+
+// TestResumeVectorFaultSim checkpoints a multi-pass concurrent fault
+// simulation and resumes it from the last mid-pass snapshot: the stitched
+// coverage table, final values and work counters must match an
+// uninterrupted run's exactly.
+func TestResumeVectorFaultSim(t *testing.T) {
+	c := RandomUnitCircuit(9, 50)
+	base := Options{Algorithm: Vector, Horizon: 200, Workers: 2, Lanes: 8,
+		FaultSim: true, FaultStatuses: true}
+
+	resA, err := Simulate(c.Clone(), base)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if resA.FaultCoverage == nil || resA.FaultCoverage.Passes < 2 {
+		t.Fatalf("want a multi-pass fault run, got %+v", resA.FaultCoverage)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "fault.ckpt")
+	oB := base
+	oB.Checkpoint = ckpt
+	oB.CheckpointEvery = 64
+	if _, err := Simulate(c.Clone(), oB); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	oC := base
+	oC.ResumeFrom = ckpt
+	resC, err := Simulate(c.Clone(), oC)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !resC.Resumed {
+		t.Error("resumed run does not report Resumed")
+	}
+	sameFinals(t, "fault-sim resume", resA.Final, resC.Final)
+	ca, cc := resA.FaultCoverage, resC.FaultCoverage
+	if cc == nil {
+		t.Fatal("resumed run has no fault coverage")
+	}
+	if ca.Total != cc.Total || ca.Detected != cc.Detected || ca.Passes != cc.Passes {
+		t.Errorf("coverage diverges: total %d/%d detected %d/%d passes %d/%d",
+			cc.Total, ca.Total, cc.Detected, ca.Detected, cc.Passes, ca.Passes)
+	}
+	if len(ca.Faults) != len(cc.Faults) {
+		t.Fatalf("status rows: %d, want %d", len(cc.Faults), len(ca.Faults))
+	}
+	for i := range ca.Faults {
+		if ca.Faults[i] != cc.Faults[i] {
+			t.Errorf("fault %d status %+v, want %+v", i, cc.Faults[i], ca.Faults[i])
+		}
+	}
+	ta, tc := resA.Stats.Totals(), resC.Stats.Totals()
+	if ta.NodeUpdates != tc.NodeUpdates || ta.Evals != tc.Evals || ta.EventsUsed != tc.EventsUsed {
+		t.Errorf("resumed counters diverge: updates %d/%d evals %d/%d",
+			tc.NodeUpdates, ta.NodeUpdates, tc.Evals, ta.Evals)
+	}
+	if resA.Stats.TimeSteps != resC.Stats.TimeSteps {
+		t.Errorf("resumed TimeSteps = %d, want %d", resC.Stats.TimeSteps, resA.Stats.TimeSteps)
+	}
+}
+
+// TestResumeAfterCancel checkpoints a run, cancels it mid-flight (the
+// engine writes a final snapshot at the stop boundary), then resumes and
+// checks the stitched run matches an uninterrupted one.
+func TestResumeAfterCancel(t *testing.T) {
+	for _, alg := range []Algorithm{Sequential, Compiled} {
+		c := RandomUnitCircuit(3, 60)
+		base := Options{Algorithm: alg, Horizon: 2000, CostSpin: 50}
+		if alg != Sequential {
+			base.Workers = 2
+		}
+
+		recA := NewRecorder()
+		oA := base
+		oA.Probe = recA
+		resA, err := Simulate(c.Clone(), oA)
+		if err != nil {
+			t.Fatalf("%v reference: %v", alg, err)
+		}
+
+		ckpt := filepath.Join(t.TempDir(), "cancel.ckpt")
+		oB := base
+		oB.Checkpoint = ckpt
+		oB.CheckpointEvery = 100
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		_, err = SimulateContext(ctx, c.Clone(), oB)
+		cancel()
+		if err == nil {
+			// The run beat the timeout; the periodic snapshots still allow
+			// the resume leg below.
+			t.Logf("%v: run finished before cancellation", alg)
+		}
+		if _, statErr := os.Stat(ckpt); statErr != nil {
+			t.Fatalf("%v: no snapshot after cancel: %v", alg, statErr)
+		}
+
+		recC := NewRecorder()
+		oC := base
+		oC.Probe = recC
+		oC.ResumeFrom = ckpt
+		resC, err := Simulate(c.Clone(), oC)
+		if err != nil {
+			t.Fatalf("%v resume: %v", alg, err)
+		}
+		if !resC.Resumed {
+			t.Errorf("%v: resumed run does not report Resumed", alg)
+		}
+		sameFinals(t, alg.String()+" cancel-resume", resA.Final, resC.Final)
+	}
+}

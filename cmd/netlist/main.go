@@ -54,16 +54,22 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown benchmark %q", *genName))
 		}
-		w := os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
+		if *out == "" {
+			if err := parsim.WriteNetlist(os.Stdout, c); err != nil {
 				fatal(err)
 			}
-			defer f.Close()
-			w = f
+			return
 		}
-		if err := parsim.WriteNetlist(w, c); err != nil {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := parsim.WriteNetlist(f, c); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		// The netlist isn't durable until the file closes cleanly.
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	default:

@@ -27,6 +27,13 @@
 // -fault-passes caps the chunked passes; -fault-statuses lists every fault
 // site with its detection step in the JSON report.
 //
+// -checkpoint writes a crash-durable snapshot of the run into a file at a
+// periodic quiescent point (atomic rewrite — a crash mid-save leaves the
+// previous snapshot intact); -checkpoint-every sets the interval in time
+// steps. -resume continues from such a snapshot under the same netlist and
+// options, replaying bit-identically to an uninterrupted run. Sequential,
+// compiled and vector runs (including fault simulation) support it.
+//
 // -engine selects the engine by registry name and overrides -alg; its
 // headline value is `-engine auto`, which profiles the circuit statically,
 // ranks every engine through the cost model, and runs the predicted winner
@@ -99,6 +106,11 @@ func main() {
 		lintFlag    = flag.String("lint", "off", "pre-flight static analysis: off, warn (refuse errors), strict (refuse warnings too)")
 		watchdog    = flag.Duration("watchdog", 0, "abort the run when progress stalls for this long (0 = off)")
 		fallback    = flag.Bool("fallback", false, "retry on the sequential engine if the run panics or stalls")
+		fbRetries   = flag.Int("fallback-retries", 0, "fallback: attempts on the fallback engine before giving up (0 = 1)")
+		fbDelay     = flag.Duration("fallback-delay", 0, "fallback: base delay of the capped exponential backoff between attempts")
+		ckptPath    = flag.String("checkpoint", "", "write a crash-durable snapshot to this file at a periodic quiescent point")
+		ckptEvery   = flag.Int64("checkpoint-every", 0, "snapshot interval in time steps (0 = 256)")
+		resumeFrom  = flag.String("resume", "", "resume from a snapshot file written by -checkpoint; the run must use the same netlist and options")
 		jsonOut     = flag.Bool("json", false, "emit the run report as JSON (the same schema the parsimd daemon serves)")
 	)
 	flag.Parse()
@@ -140,21 +152,26 @@ func main() {
 		fatal(err)
 	}
 	opts := parsim.Options{
-		Engine:         eng.Name(),
-		Workers:        *workers,
-		Horizon:        parsim.Time(*horizon),
-		CostSpin:       *spin,
-		NoSteal:        *noSteal,
-		CentralQueue:   *central,
-		Lint:           lint,
-		Watchdog:       *watchdog,
-		Fallback:       *fallback,
-		Lanes:          *lanes,
-		LaneStride:     *laneStride,
-		ProbeLane:      *probeLane,
-		FaultSim:       *faults,
-		FaultMaxPasses: *faultPasses,
-		FaultStatuses:  *faultStat,
+		Engine:          eng.Name(),
+		Workers:         *workers,
+		Horizon:         parsim.Time(*horizon),
+		CostSpin:        *spin,
+		NoSteal:         *noSteal,
+		CentralQueue:    *central,
+		Lint:            lint,
+		Watchdog:        *watchdog,
+		Fallback:        *fallback,
+		FallbackRetries: *fbRetries,
+		FallbackDelay:   *fbDelay,
+		Checkpoint:      *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		ResumeFrom:      *resumeFrom,
+		Lanes:           *lanes,
+		LaneStride:      *laneStride,
+		ProbeLane:       *probeLane,
+		FaultSim:        *faults,
+		FaultMaxPasses:  *faultPasses,
+		FaultStatuses:   *faultStat,
 	}
 	if eng.Name() == parsim.Sequential.String() {
 		opts.Workers = 1
@@ -227,18 +244,27 @@ func main() {
 		}
 	}
 	if *vcdPath != "" && rec != nil {
-		f, err := os.Create(*vcdPath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := parsim.WriteVCD(f, c, rec, opts.Horizon, watched...); err != nil {
+		if err := writeVCDFile(*vcdPath, c, rec, opts.Horizon, watched); err != nil {
 			fatal(err)
 		}
 		if !*jsonOut {
 			fmt.Printf("wrote %s\n", *vcdPath)
 		}
 	}
+}
+
+// writeVCDFile renders the recorded waveforms into path, propagating the
+// Close error — the write isn't durable until the file closes cleanly.
+func writeVCDFile(path string, c *parsim.Circuit, rec *parsim.Recorder, horizon parsim.Time, watched []parsim.NodeID) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := parsim.WriteVCD(f, c, rec, horizon, watched...); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runAnalyze implements the analyze subcommand: run the static analyzer

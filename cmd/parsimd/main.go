@@ -17,6 +17,13 @@
 // reserves more than -cores worker cores across concurrently running
 // jobs. On SIGINT/SIGTERM it stops accepting work and drains running
 // jobs for up to -drain before force-cancelling them.
+//
+// With -state-dir the daemon is crash-durable: every job is recorded in
+// an append-only journal there, checkpoint-capable engines snapshot
+// their runs periodically (-checkpoint-every steps), and a restarted
+// daemon replays the journal — finished jobs keep their results,
+// interrupted ones re-queue and resume from their last snapshot. A
+// kill -9 loses at most the steps since the last checkpoint.
 package main
 
 import (
@@ -36,19 +43,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cores    = flag.Int("cores", runtime.GOMAXPROCS(0), "worker-core budget shared by all running jobs")
-		queue    = flag.Int("queue", 256, "admission queue depth; submissions beyond it get 429")
-		maxBody  = flag.Int64("max-body", 8<<20, "request body cap in bytes (413 beyond)")
-		maxNodes = flag.Int("max-nodes", 200000, "per-circuit node cap (413 beyond)")
-		maxElems = flag.Int("max-elems", 200000, "per-circuit element cap (413 beyond)")
-		deadline = flag.Duration("deadline", 2*time.Minute, "default per-job wall-clock deadline")
-		maxDead  = flag.Duration("max-deadline", 10*time.Minute, "upper bound on requested per-job deadlines")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cores     = flag.Int("cores", runtime.GOMAXPROCS(0), "worker-core budget shared by all running jobs")
+		queue     = flag.Int("queue", 256, "admission queue depth; submissions beyond it get 429")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes (413 beyond)")
+		maxNodes  = flag.Int("max-nodes", 200000, "per-circuit node cap (413 beyond)")
+		maxElems  = flag.Int("max-elems", 200000, "per-circuit element cap (413 beyond)")
+		deadline  = flag.Duration("deadline", 2*time.Minute, "default per-job wall-clock deadline")
+		maxDead   = flag.Duration("max-deadline", 10*time.Minute, "upper bound on requested per-job deadlines")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		stateDir  = flag.String("state-dir", "", "crash-durability directory (job journal + checkpoints); empty disables")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "snapshot interval in time steps for durable jobs (0 = engine default)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		CoreBudget:      *cores,
 		MaxQueue:        *queue,
 		MaxBodyBytes:    *maxBody,
@@ -56,7 +65,13 @@ func main() {
 		MaxElems:        *maxElems,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDead,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckptEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parsimd:", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)

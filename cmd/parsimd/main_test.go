@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// End-to-end crash tests: build the real parsimd binary, run it with a
+// state directory, and prove a simulation survives both a graceful
+// SIGTERM drain and an abrupt kill -9 — the restarted daemon resumes the
+// job from its last snapshot and reports the same result an
+// uninterrupted run produces.
+
+const e2eNetlist = `circuit ring
+node clk 1
+node a 1
+node b 1
+node q 1
+elem clock osc delay=1 out=clk period=8
+elem not n1 delay=1 out=a in=clk
+elem not n2 delay=1 out=b in=a
+elem not n3 delay=1 out=q in=b
+`
+
+// e2eResult is the slice of the job-result JSON the assertions need; wall
+// times are deliberately excluded (they differ between runs).
+type e2eResult struct {
+	Stats struct {
+		TimeSteps   int64 `json:"time_steps"`
+		NodeUpdates int64 `json:"node_updates"`
+		Evals       int64 `json:"evals"`
+	} `json:"stats"`
+	Final   []string `json:"final"`
+	Resumed bool     `json:"resumed"`
+}
+
+type e2eJob struct {
+	ID     string     `json:"id"`
+	State  string     `json:"state"`
+	Error  string     `json:"error"`
+	Result *e2eResult `json:"result"`
+}
+
+// buildDaemon compiles parsimd once per test into the test's temp space.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "parsimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building parsimd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves and releases a TCP port for the daemon to bind.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// startDaemon launches parsimd against the state dir and waits for
+// /healthz to answer.
+func startDaemon(t *testing.T, bin, stateDir string, port int, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-cores", "2",
+		"-state-dir", stateDir,
+		"-checkpoint-every", "50",
+		"-drain", "30s",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return cmd
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+	return nil
+}
+
+func submitJob(t *testing.T, port int, body map[string]any) e2eJob {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://127.0.0.1:%d/v1/jobs", port),
+		"application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j e2eJob
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s (%s)", resp.Status, j.Error)
+	}
+	return j
+}
+
+func getJob(t *testing.T, port int, id string) (e2eJob, bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%d/v1/jobs/%s", port, id))
+	if err != nil {
+		return e2eJob{}, false
+	}
+	defer resp.Body.Close()
+	var j e2eJob
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return e2eJob{}, false
+	}
+	return j, resp.StatusCode == http.StatusOK
+}
+
+func waitDone(t *testing.T, port int, id string, within time.Duration) e2eJob {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		j, ok := getJob(t, port, id)
+		if ok && j.State != "queued" && j.State != "running" {
+			if j.State != "done" {
+				t.Fatalf("job %s finished %s: %s", id, j.State, j.Error)
+			}
+			return j
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return e2eJob{}
+}
+
+// waitForCheckpoint polls the journal until a checkpointed record for the
+// job is durably on disk.
+func waitForCheckpoint(t *testing.T, stateDir, id string, within time.Duration) {
+	t.Helper()
+	path := filepath.Join(stateDir, "journal.jsonl")
+	needle := []byte(`"type":"checkpointed","job":"` + id + `"`)
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		data, err := os.ReadFile(path)
+		if err == nil && bytes.Contains(data, needle) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no checkpoint record for %s in %s", id, path)
+}
+
+// slowJob is sized so the run takes several seconds — long enough that
+// the kill lands mid-simulation, short enough to resume and finish.
+func slowJob() map[string]any {
+	return map[string]any{
+		"netlist":     e2eNetlist,
+		"engine":      "sequential",
+		"horizon":     60000,
+		"cost_spin":   2000,
+		"deadline_ms": 300000,
+	}
+}
+
+func assertSameRun(t *testing.T, got, want *e2eResult) {
+	t.Helper()
+	if got.Stats.TimeSteps != want.Stats.TimeSteps ||
+		got.Stats.NodeUpdates != want.Stats.NodeUpdates ||
+		got.Stats.Evals != want.Stats.Evals {
+		t.Errorf("stitched counters diverge: steps %d/%d updates %d/%d evals %d/%d",
+			got.Stats.TimeSteps, want.Stats.TimeSteps,
+			got.Stats.NodeUpdates, want.Stats.NodeUpdates,
+			got.Stats.Evals, want.Stats.Evals)
+	}
+	if strings.Join(got.Final, ",") != strings.Join(want.Final, ",") {
+		t.Errorf("final values diverge:\n got %v\nwant %v", got.Final, want.Final)
+	}
+}
+
+// TestE2EKill9Recovery is the headline crash test: kill -9 the daemon
+// mid-job, restart it over the same state directory, and require the
+// resumed job to report exactly what an uninterrupted run reports.
+func TestE2EKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e daemon test in -short mode")
+	}
+	bin := buildDaemon(t)
+	stateDir := t.TempDir()
+
+	port := freePort(t)
+	daemon := startDaemon(t, bin, stateDir, port)
+	job := submitJob(t, port, slowJob())
+	waitForCheckpoint(t, stateDir, job.ID, 60*time.Second)
+
+	// The job is mid-run with a durable snapshot behind it. Kill -9.
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+
+	port2 := freePort(t)
+	startDaemon(t, bin, stateDir, port2)
+	resumed := waitDone(t, port2, job.ID, 120*time.Second)
+	if resumed.Result == nil {
+		t.Fatal("recovered job has no result")
+	}
+	if !resumed.Result.Resumed {
+		t.Error("recovered job did not resume from its snapshot")
+	}
+
+	// Reference: the identical job run uninterrupted on the new daemon.
+	ref := submitJob(t, port2, slowJob())
+	refDone := waitDone(t, port2, ref.ID, 120*time.Second)
+	if refDone.Result == nil {
+		t.Fatal("reference job has no result")
+	}
+	if refDone.Result.Resumed {
+		t.Error("reference job unexpectedly reports resumed")
+	}
+	assertSameRun(t, resumed.Result, refDone.Result)
+}
+
+// TestE2ESIGTERMDrain checks the graceful path: SIGTERM makes the daemon
+// stop accepting work, drain, and exit 0; a finished job's result
+// survives into the next daemon life.
+func TestE2ESIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e daemon test in -short mode")
+	}
+	bin := buildDaemon(t)
+	stateDir := t.TempDir()
+
+	port := freePort(t)
+	daemon := startDaemon(t, bin, stateDir, port)
+	job := submitJob(t, port, map[string]any{
+		"netlist": e2eNetlist,
+		"engine":  "sequential",
+		"horizon": 2000,
+	})
+	done := waitDone(t, port, job.ID, 60*time.Second)
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	werr := daemon.Wait()
+	if werr != nil {
+		t.Fatalf("daemon did not exit cleanly on SIGTERM: %v", werr)
+	}
+
+	port2 := freePort(t)
+	startDaemon(t, bin, stateDir, port2)
+	after, ok := getJob(t, port2, job.ID)
+	if !ok {
+		t.Fatalf("job %s missing after restart", job.ID)
+	}
+	if after.State != "done" || after.Result == nil {
+		t.Fatalf("recovered job state %s (result %v)", after.State, after.Result)
+	}
+	assertSameRun(t, after.Result, done.Result)
+}

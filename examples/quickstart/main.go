@@ -84,8 +84,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if err := parsim.WriteVCD(f, c, rec, horizon); err != nil {
+		log.Fatal(err)
+	}
+	// The write isn't durable until the file closes cleanly.
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nwrote counter.vcd")

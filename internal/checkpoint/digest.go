@@ -1,0 +1,61 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"parsim/internal/circuit"
+)
+
+// Identity is the set of run options that change simulated behaviour. It is
+// hashed together with the netlist so a snapshot can only be resumed under
+// the exact configuration that produced it — resuming a 4-lane run with 8
+// lanes, or a fault-sim snapshot without fault-sim, fails with a
+// MismatchError instead of silently diverging.
+type Identity struct {
+	Engine         string
+	Horizon        int64
+	Workers        int
+	Strategy       string
+	Lanes          int
+	LaneStride     int64
+	ProbeLane      int
+	CostSpin       int64
+	FaultSim       bool
+	FaultMaxPasses int
+	FaultStatuses  bool
+	CollectAvail   bool
+}
+
+// Digest hashes a canonical dump of the circuit and the run identity into
+// the snapshot-compatibility digest.
+func Digest(c *circuit.Circuit, id Identity) ([32]byte, error) {
+	h := sha256.New()
+	dumpCircuit(h, c)
+	fmt.Fprintf(h, "\x00engine=%s horizon=%d workers=%d strategy=%s lanes=%d stride=%d probelane=%d spin=%d fault=%t fpasses=%d fstatuses=%t avail=%t\n",
+		id.Engine, id.Horizon, id.Workers, id.Strategy, id.Lanes, id.LaneStride,
+		id.ProbeLane, id.CostSpin, id.FaultSim, id.FaultMaxPasses, id.FaultStatuses, id.CollectAvail)
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d, nil
+}
+
+// dumpCircuit writes a canonical description of every structural property
+// that affects simulation: nodes (name, width), elements (kind, wiring,
+// delay, cost, parameters) in ID order. Two circuits that dump identically
+// simulate identically.
+func dumpCircuit(w io.Writer, c *circuit.Circuit) {
+	fmt.Fprintf(w, "circuit %s\n", c.Name)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		fmt.Fprintf(w, "node %s %d\n", n.Name, n.Width)
+	}
+	for i := range c.Elems {
+		el := &c.Elems[i]
+		fmt.Fprintf(w, "elem %s %s delay=%d cost=%d in=%v out=%v", circuit.KindName(el.Kind), el.Name, el.Delay, el.Cost, el.In, el.Out)
+		p := &el.Params
+		fmt.Fprintf(w, " init=%v period=%d phase=%d duty=%d lo=%d shift=%d seed=%d times=%v values=%v mem=%v\n",
+			p.Init, p.Period, p.Phase, p.Duty, p.Lo, p.Shift, p.Seed, p.Times, p.Values, p.Mem)
+	}
+}

@@ -1,0 +1,51 @@
+package checkpoint
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzCheckpoint throws arbitrary bytes at the snapshot decoder. The
+// contract under attack: decode never panics, every rejection is a typed
+// *CorruptError, and anything the decoder accepts survives a re-encode
+// round trip unchanged.
+func FuzzCheckpoint(f *testing.F) {
+	valid, err := encode(sampleSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-1])
+	for _, i := range []int{0, 4, 8, 16, headerSize, len(valid) - 1} {
+		flipped := append([]byte(nil), valid...)
+		flipped[i] ^= 0x01
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decode("fuzz", data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode rejection %v is not a *CorruptError", err)
+			}
+			return
+		}
+		// Accepted input: the snapshot must re-encode and decode back to
+		// itself, so a resume sees exactly what was saved.
+		out, err := encode(s)
+		if err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		again, err := decode("fuzz", out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatal("accepted snapshot did not survive a re-encode round trip")
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package checkpoint
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// DefaultGap is the minimum wall-clock spacing between durable writes when
+// the plan does not set one. Simulated steps on the paper circuits take
+// microseconds, so writing (and fsyncing) at every interval would spend
+// more time in the kernel than in the simulation; one durable snapshot per
+// quarter second bounds crash loss to human-imperceptible work while
+// keeping the write-side overhead near zero.
+const DefaultGap = 250 * time.Millisecond
+
+// Writer moves snapshot persistence off the simulation's critical path.
+// Engines capture state at a quiescent point (a deep copy — the simulation
+// keeps mutating after the handoff) and pass it to Save, which returns
+// immediately; a background goroutine performs the atomic encode + fsync +
+// rename. When the simulation outruns the disk, queued snapshots are
+// coalesced: only the newest unwritten snapshot is kept, since crash
+// durability needs the most recent quiescent point, not every one. Durable
+// writes are additionally spaced at least the plan's gap apart (the first
+// is immediate), so a fast simulation is not slowed by back-to-back
+// fsyncs.
+//
+// Close flushes the pending snapshot before returning, so a drained run's
+// final capture is durable by the time the engine exits.
+type Writer struct {
+	plan    Plan
+	gap     time.Duration
+	done    chan struct{}
+	closing chan struct{}
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	next      *Snapshot // newest snapshot not yet picked up by the goroutine
+	busy      bool      // goroutine is writing (or gap-waiting to write)
+	last      time.Time // completion time of the most recent durable write
+	err       error     // first write failure; sticky
+	closed    bool
+	closeOnce sync.Once
+}
+
+// NewWriter starts the background writer for the plan.
+func NewWriter(plan Plan) *Writer {
+	w := &Writer{
+		plan:    plan,
+		gap:     plan.Gap,
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
+	}
+	if w.gap == 0 {
+		w.gap = DefaultGap
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w
+}
+
+func (w *Writer) run() {
+	defer close(w.done)
+	var lastWrite time.Time // zero: the first snapshot is written immediately
+	w.mu.Lock()
+	for {
+		for w.next == nil && !w.closed {
+			w.cond.Wait()
+		}
+		if w.next == nil { // closed and drained
+			w.mu.Unlock()
+			return
+		}
+		s := w.next
+		w.next = nil
+		w.busy = true
+		w.mu.Unlock()
+		if !lastWrite.IsZero() {
+			if d := w.gap - time.Since(lastWrite); d > 0 {
+				// Space durable writes out; a Close interrupts the wait so
+				// the final flush is not delayed. Snapshots arriving during
+				// the wait coalesce, and the newest one wins below.
+				select {
+				case <-time.After(d):
+				case <-w.closing:
+				}
+				w.mu.Lock()
+				if w.next != nil {
+					s = w.next
+					w.next = nil
+				}
+				w.mu.Unlock()
+			}
+		}
+		err := Save(w.plan.Path, s)
+		lastWrite = time.Now()
+		if err == nil && w.plan.OnSave != nil {
+			// Fires after the durable save, from the writer goroutine —
+			// possibly concurrent with the simulation's next steps.
+			w.plan.OnSave(s.Step)
+		}
+		w.mu.Lock()
+		w.busy = false
+		w.last = lastWrite
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+}
+
+// Ready reports whether a capture handed to Save now would be written
+// promptly: the writer is idle and the gap since the last durable write has
+// elapsed. Engines use it to skip the capture itself — packing a snapshot
+// that would only be coalesced away is wasted work on the critical path.
+// The final capture of a drain skips this check; Close flushes it
+// immediately.
+func (w *Writer) Ready() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.closed || w.busy || w.next != nil {
+		return false
+	}
+	return w.last.IsZero() || time.Since(w.last) >= w.gap
+}
+
+// DiscardPending drops a snapshot the goroutine has not yet picked up.
+// Engines call it when a run completes normally: the final state has
+// nothing left to resume, so flushing it at Close would only cost another
+// fsync. If no write has landed yet (a run shorter than the writer's first
+// scheduling), the pending capture is kept — Close flushes it so the run
+// leaves a snapshot behind at all. Best-effort — a snapshot already being
+// written still lands.
+func (w *Writer) DiscardPending() {
+	w.mu.Lock()
+	if !w.last.IsZero() {
+		w.next = nil
+	}
+	w.mu.Unlock()
+}
+
+// Save hands a snapshot to the background writer and returns immediately.
+// If an earlier write failed, that error is returned and the snapshot is
+// dropped — the engine stops checkpointing into a broken target.
+func (w *Writer) Save(s *Snapshot) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("checkpoint: writer closed")
+	}
+	w.next = s
+	w.cond.Signal()
+	return nil
+}
+
+// Close flushes the pending snapshot, stops the background goroutine and
+// returns the first write error. Safe to call more than once.
+func (w *Writer) Close() error {
+	w.closeOnce.Do(func() { close(w.closing) })
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		w.cond.Signal()
+	}
+	w.mu.Unlock()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

@@ -1,0 +1,171 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSaves returns a plan whose OnSave appends durably-written steps.
+func collectSaves(path string, gap time.Duration) (Plan, func() []int64) {
+	var mu sync.Mutex
+	var steps []int64
+	plan := Plan{
+		Path:  path,
+		Every: 1,
+		Gap:   gap,
+		OnSave: func(step int64) {
+			mu.Lock()
+			steps = append(steps, step)
+			mu.Unlock()
+		},
+	}
+	return plan, func() []int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]int64(nil), steps...)
+	}
+}
+
+func snapAt(step int64) *Snapshot {
+	s := sampleSnapshot()
+	s.Step = step
+	return s
+}
+
+// With a gap far longer than the test, the first save is written
+// immediately, intermediate saves coalesce, and Close flushes the newest.
+func TestWriterCoalescesUnderGap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	plan, saved := collectSaves(path, time.Hour)
+	w := NewWriter(plan)
+	if err := w.Save(snapAt(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The first save is written immediately (no gap wait); let it land
+	// before queueing more so the coalescing below is deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(saved()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first save never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for step := int64(2); step <= 5; step++ {
+		if err := w.Save(snapAt(step)); err != nil {
+			t.Fatalf("Save(%d): %v", step, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	steps := saved()
+	if steps[0] != 1 {
+		t.Fatalf("first durable save %v, want step 1 written immediately", steps)
+	}
+	if last := steps[len(steps)-1]; last != 5 {
+		t.Fatalf("final durable save at step %d, want the newest (5) flushed by Close", last)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after Close: %v", err)
+	}
+	if got.Step != 5 {
+		t.Fatalf("snapshot on disk is step %d, want 5", got.Step)
+	}
+}
+
+// DiscardPending drops a queued snapshot once something durable exists, but
+// keeps the only capture of a run too short for the writer to get
+// scheduled.
+func TestWriterDiscardPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	plan, saved := collectSaves(path, time.Hour)
+	w := NewWriter(plan)
+	if err := w.Save(snapAt(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the immediate first write to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(saved()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first save never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Save(snapAt(2)); err != nil {
+		t.Fatal(err)
+	}
+	w.DiscardPending()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if steps := saved(); len(steps) != 1 || steps[0] != 1 {
+		t.Fatalf("durable saves %v, want only step 1 (step 2 discarded)", steps)
+	}
+
+	// A writer that never wrote keeps its pending capture on discard.
+	path2 := filepath.Join(t.TempDir(), "w2.ckpt")
+	plan2, saved2 := collectSaves(path2, time.Hour)
+	w2 := NewWriter(plan2)
+	// No sleep: discard races the goroutine's pickup deliberately — either
+	// way the capture must survive to disk.
+	if err := w2.Save(snapAt(7)); err != nil {
+		t.Fatal(err)
+	}
+	w2.DiscardPending()
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if steps := saved2(); len(steps) != 1 || steps[0] != 7 {
+		t.Fatalf("durable saves %v, want the only capture (7) kept", steps)
+	}
+}
+
+// A write failure is sticky: later Saves report it and Close returns it.
+func TestWriterErrorSticks(t *testing.T) {
+	// A directory that does not exist makes CreateTemp fail.
+	plan := Plan{Path: filepath.Join(t.TempDir(), "missing", "w.ckpt"), Every: 1, Gap: time.Nanosecond}
+	w := NewWriter(plan)
+	if err := w.Save(snapAt(1)); err != nil {
+		t.Fatalf("first Save should queue cleanly, got %v", err)
+	}
+	var serr error
+	deadline := time.Now().Add(5 * time.Second)
+	for serr == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("write failure never surfaced through Save")
+		}
+		time.Sleep(time.Millisecond)
+		serr = w.Save(snapAt(2))
+	}
+	if cerr := w.Close(); cerr == nil {
+		t.Fatal("Close returned nil after a write failure")
+	}
+}
+
+// Ready turns false while a write is pending and after a write until the
+// gap elapses.
+func TestWriterReady(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	plan, saved := collectSaves(path, time.Hour)
+	w := NewWriter(plan)
+	defer w.Close()
+	if !w.Ready() {
+		t.Fatal("fresh writer not ready")
+	}
+	if err := w.Save(snapAt(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(saved()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first save never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if w.Ready() {
+		t.Fatal("writer ready right after a write despite an hour-long gap")
+	}
+}

@@ -14,12 +14,14 @@ func (eng) Name() string { return "compiled" }
 
 func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*engine.Report, error) {
 	res, err := RunContext(ctx, c, Options{
-		Workers:  cfg.Workers,
-		Horizon:  cfg.Horizon,
-		Probe:    cfg.Probe,
-		CostSpin: cfg.CostSpin,
-		Strategy: cfg.Strategy,
-		Guard:    cfg.Guard,
+		Workers:    cfg.Workers,
+		Horizon:    cfg.Horizon,
+		Probe:      cfg.Probe,
+		CostSpin:   cfg.CostSpin,
+		Strategy:   cfg.Strategy,
+		Guard:      cfg.Guard,
+		Checkpoint: cfg.CkptPlan,
+		Resume:     cfg.CkptSnap,
 	})
 	if res == nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"parsim/internal/analyze"
+	"parsim/internal/checkpoint"
 	"parsim/internal/circuit"
 	"parsim/internal/guard"
 	"parsim/internal/logic"
@@ -99,11 +101,30 @@ type Config struct {
 	// metric stays flat for this long is aborted with guard.ErrStalled
 	// plus a per-worker diagnostic dump. 0 disables the watchdog.
 	Watchdog time.Duration
-	// Fallback names the engine a run is transparently retried on when
-	// the original engine faults or stalls (typically "sequential"). The
-	// retried Report carries Degraded=true and the original error in
-	// Fault. Empty disables the fallback policy.
-	Fallback string
+	// Fallback is the retry policy applied when the original engine
+	// faults or stalls: the run is transparently retried on the named
+	// engine (typically "sequential"), with capped exponential backoff
+	// between attempts. The retried Report carries Degraded=true and a
+	// *FallbackError (attempt count + original error) in Fault. A zero
+	// policy disables fallback.
+	Fallback FallbackPolicy
+
+	// Checkpoint asks the engine to write periodic snapshots at quiescent
+	// points (see CheckpointSpec). Only the synchronous engines
+	// (sequential, compiled, vector) support it; RunEngine rejects the
+	// request for every other engine with checkpoint.ErrUnsupported.
+	Checkpoint CheckpointSpec
+	// ResumeFrom names a snapshot file to continue from instead of
+	// starting at t=0. The snapshot must have been written by the same
+	// engine under the same netlist and options (content digest); any
+	// mismatch or corruption is a typed error, never a silent restart.
+	ResumeFrom string
+	// CkptPlan and CkptSnap are the resolved forms of Checkpoint and
+	// ResumeFrom, installed by RunEngine after digest computation and
+	// snapshot verification. Engine adapters read these; callers leave
+	// them zero.
+	CkptPlan checkpoint.Plan
+	CkptSnap *checkpoint.Snapshot
 	// Guard is the per-run supervisor, installed by RunEngine. Engines
 	// read it to publish progress and contain worker panics; callers
 	// leave it nil.
@@ -148,6 +169,84 @@ type Config struct {
 	StepsPerRound int  // time-warp: optimistic steps per GVT round (0 = default)
 }
 
+// FallbackPolicy configures the transparent retry applied after a
+// recoverable failure (worker panic or watchdog stall).
+type FallbackPolicy struct {
+	// Engine names the engine the run is retried on; empty disables
+	// fallback entirely.
+	Engine string
+	// MaxRetries is the number of fallback attempts; 0 defaults to 1 (a
+	// single re-run, the historical behaviour).
+	MaxRetries int
+	// BaseDelay is the sleep before the second fallback attempt; each
+	// further attempt doubles it (with jitter), capped at
+	// MaxFallbackDelay. The first attempt is always immediate. 0 disables
+	// inter-attempt delays.
+	BaseDelay time.Duration
+}
+
+// Enabled reports whether the policy names a fallback engine.
+func (p FallbackPolicy) Enabled() bool { return p.Engine != "" }
+
+// MaxFallbackDelay caps the exponential backoff between fallback attempts.
+const MaxFallbackDelay = 2 * time.Second
+
+// FallbackError is stored in Report.Fault when a run completed on the
+// fallback engine: it records how many fallback attempts were needed and
+// wraps the original engine's error, so errors.Is/As see through it.
+type FallbackError struct {
+	Attempts int   // fallback attempts made (the one that succeeded included)
+	Err      error // the original engine's recoverable error
+}
+
+func (e *FallbackError) Error() string {
+	return fmt.Sprintf("recovered by fallback after %d attempt(s): %v", e.Attempts, e.Err)
+}
+
+func (e *FallbackError) Unwrap() error { return e.Err }
+
+// CheckpointSpec asks for periodic durable snapshots of the run.
+type CheckpointSpec struct {
+	// Path is the snapshot file, rewritten atomically at each checkpoint.
+	Path string
+	// EverySteps is the capture interval in time steps; 0 defaults to
+	// DefaultCheckpointEvery. Captures are throttled to at most one
+	// durable write per WriteGap of wall time (the first is immediate).
+	EverySteps int64
+	// WriteGap is the minimum wall-clock spacing between durable writes;
+	// 0 defaults to checkpoint.DefaultGap. A kill -9 loses at most one
+	// gap plus one capture interval of work.
+	WriteGap time.Duration
+	// OnSave, when set, is called after each snapshot reaches disk (the
+	// server journals checkpoint records through it). It may run
+	// concurrently with the simulation's subsequent steps.
+	OnSave func(step int64)
+}
+
+// DefaultCheckpointEvery is the snapshot interval used when
+// CheckpointSpec.EverySteps is zero.
+const DefaultCheckpointEvery = 256
+
+// checkpointable names the engines with quiescent-point snapshot support:
+// the synchronous family, where the per-step barrier makes global state
+// well-defined. The async engines would need GVT-coordinated cuts; they
+// report checkpoint.ErrUnsupported instead of pretending.
+var checkpointable = map[string]bool{
+	"sequential": true,
+	"compiled":   true,
+	"vector":     true,
+}
+
+// SupportsCheckpoint reports whether the named engine (or alias) can
+// checkpoint and resume.
+func SupportsCheckpoint(name string) bool {
+	e, err := Get(name)
+	if err != nil {
+		return false
+	}
+	return checkpointable[e.Name()]
+}
+
 // Report is the uniform outcome of a run. Per-algorithm counters live in
 // Run.PerWorker (zero where not applicable); only genuinely global,
 // non-summable metrics get their own field.
@@ -169,10 +268,13 @@ type Report struct {
 	// (Config.FaultSim); nil otherwise.
 	FaultCoverage *stats.FaultCoverage
 	// Degraded marks a result produced by the Config.Fallback engine
-	// after the requested engine faulted or stalled; Fault holds the
-	// original engine's error.
+	// after the requested engine faulted or stalled; Fault holds a
+	// *FallbackError wrapping the original engine's error.
 	Degraded bool
 	Fault    error
+	// Resumed marks a run continued from a Config.ResumeFrom snapshot
+	// rather than started at t=0.
+	Resumed bool
 	// Selected records the decision of an engine=auto run: which engine the
 	// static profile + cost model picked, at what configuration, with the
 	// full ranking and the profile that justified it. Nil for direct runs.
@@ -307,11 +409,14 @@ func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*
 		return nil, fmt.Errorf("parsim: fault simulation requires the vector engine, not %q", e.Name())
 	}
 	var fb Engine
-	if cfg.Fallback != "" {
+	if cfg.Fallback.Enabled() {
 		var err error
-		if fb, err = Get(cfg.Fallback); err != nil {
+		if fb, err = Get(cfg.Fallback.Engine); err != nil {
 			return nil, fmt.Errorf("parsim: invalid fallback engine: %w", err)
 		}
+	}
+	if err := resolveCheckpoint(c, e, &cfg); err != nil {
+		return nil, err
 	}
 	if cfg.Lint != LintOff {
 		rep := analyze.Analyze(c, analyze.Options{})
@@ -322,27 +427,145 @@ func RunEngine(ctx context.Context, e Engine, c *circuit.Circuit, cfg Config) (*
 	rep, err := runGuarded(ctx, e, c, cfg)
 	if err == nil || fb == nil || fb.Name() == e.Name() || !guard.Recoverable(err) ||
 		cfg.FaultSim { // a scalar fallback cannot carry a fault-sim run
+		if err == nil && cfg.CkptSnap != nil {
+			rep.Resumed = true
+		}
 		return rep, err
 	}
 	// Fallback policy: the requested engine faulted or stalled; re-run on
 	// the reference engine with supervision (minus chaos — an injected
-	// fault must not follow the run) and report the degraded outcome.
+	// fault must not follow the run — and minus checkpointing, whose
+	// snapshots are bound to the original engine's digest), retrying with
+	// capped exponential backoff, and report the degraded outcome.
 	fbCfg := cfg
-	fbCfg.Fallback = ""
+	fbCfg.Fallback = FallbackPolicy{}
 	fbCfg.Chaos = nil
 	fbCfg.Lint = LintOff // the circuit was already linted above
+	fbCfg.Checkpoint = CheckpointSpec{}
+	fbCfg.ResumeFrom = ""
+	fbCfg.CkptPlan = checkpoint.Plan{}
+	fbCfg.CkptSnap = nil
 	if fb.Name() == "sequential" {
 		fbCfg.Workers = 1
 	}
-	fbRep, fbErr := runGuarded(ctx, fb, c, fbCfg)
-	if fbErr != nil {
-		// The fallback failed too; the original failure is the one that
-		// explains the run, so report it.
-		return rep, err
+	attempts := cfg.Fallback.MaxRetries
+	if attempts < 1 {
+		attempts = 1
 	}
-	fbRep.Degraded = true
-	fbRep.Fault = err
-	return fbRep, nil
+	// Jitter keeps a fleet of simultaneously faulted runs from retrying in
+	// lockstep. The source is local: the repo lint forbids the global
+	// math/rand state inside internal/.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if serr := sleepBackoff(ctx, rng, cfg.Fallback.BaseDelay, attempt-2); serr != nil {
+				return rep, err
+			}
+		}
+		fbRep, fbErr := runGuarded(ctx, fb, c, fbCfg)
+		if fbErr == nil {
+			fbRep.Degraded = true
+			fbRep.Fault = &FallbackError{Attempts: attempt, Err: err}
+			return fbRep, nil
+		}
+		if ctx.Err() != nil || !guard.Recoverable(fbErr) {
+			break
+		}
+	}
+	// Every fallback attempt failed too; the original failure is the one
+	// that explains the run, so report it.
+	return rep, err
+}
+
+// sleepBackoff sleeps BaseDelay * 2^exp with up to 50% added jitter, capped
+// at MaxFallbackDelay, returning early with the context error if the caller
+// cancels. A zero base delay returns immediately.
+func sleepBackoff(ctx context.Context, rng *rand.Rand, base time.Duration, exp int) error {
+	if base <= 0 {
+		return ctx.Err()
+	}
+	d := base << uint(exp)
+	if d <= 0 || d > MaxFallbackDelay { // <= 0 catches shift overflow
+		d = MaxFallbackDelay
+	}
+	d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	if d > MaxFallbackDelay {
+		d = MaxFallbackDelay
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// resolveCheckpoint turns the user-facing Checkpoint/ResumeFrom fields into
+// the resolved CkptPlan/CkptSnap the engine adapters consume: it gates on
+// engine support, computes the content digest, applies the default
+// interval, and loads + verifies the resume snapshot.
+func resolveCheckpoint(c *circuit.Circuit, e Engine, cfg *Config) error {
+	if cfg.Checkpoint.Path == "" && cfg.ResumeFrom == "" {
+		return nil
+	}
+	if !checkpointable[e.Name()] {
+		return fmt.Errorf("parsim: engine %q: %w", e.Name(), checkpoint.ErrUnsupported)
+	}
+	if cfg.Checkpoint.EverySteps < 0 {
+		return fmt.Errorf("parsim: negative checkpoint interval %d", cfg.Checkpoint.EverySteps)
+	}
+	digest, err := checkpoint.Digest(c, checkpoint.Identity{
+		Engine:         e.Name(),
+		Horizon:        int64(cfg.Horizon),
+		Workers:        cfg.Workers,
+		Strategy:       cfg.Strategy.String(),
+		Lanes:          cfg.Lanes,
+		LaneStride:     cfg.LaneStride,
+		ProbeLane:      cfg.ProbeLane,
+		CostSpin:       cfg.CostSpin,
+		FaultSim:       cfg.FaultSim,
+		FaultMaxPasses: cfg.FaultMaxPasses,
+		FaultStatuses:  cfg.FaultStatuses,
+		CollectAvail:   cfg.CollectAvail,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.Checkpoint.Path != "" {
+		every := cfg.Checkpoint.EverySteps
+		if every == 0 {
+			every = DefaultCheckpointEvery
+		}
+		cfg.CkptPlan = checkpoint.Plan{
+			Path:   cfg.Checkpoint.Path,
+			Every:  every,
+			Gap:    cfg.Checkpoint.WriteGap,
+			Engine: e.Name(),
+			Digest: digest,
+			OnSave: cfg.Checkpoint.OnSave,
+		}
+	}
+	if cfg.ResumeFrom != "" {
+		snap, err := checkpoint.Load(cfg.ResumeFrom)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.Verify(cfg.ResumeFrom, snap, e.Name(), digest); err != nil {
+			return err
+		}
+		if snap.Step < 0 || snap.Step >= int64(cfg.Horizon) {
+			return &checkpoint.MismatchError{
+				Path:  cfg.ResumeFrom,
+				Field: "step cursor",
+				Want:  fmt.Sprintf("in [0, %d)", cfg.Horizon),
+				Got:   fmt.Sprintf("%d", snap.Step),
+			}
+		}
+		cfg.CkptSnap = snap
+	}
+	return nil
 }
 
 // runGuarded executes one engine run under a fresh supervisor: it derives

@@ -25,8 +25,19 @@ type slot struct {
 }
 
 type overflowEntry struct {
-	t  circuit.Time
-	up Update
+	t   circuit.Time
+	seq int64 // insertion order, tie-break for equal times
+	up  Update
+}
+
+// less orders the overflow heap by (time, insertion order). The seq
+// tie-break keeps equal-time pops in scheduling order, so draining a queue
+// — and re-draining one rebuilt from a checkpoint — is deterministic.
+func (e overflowEntry) less(o overflowEntry) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	return e.seq < o.seq
 }
 
 // Queue is a single-owner (not concurrency-safe) pending-event queue.
@@ -38,6 +49,7 @@ type Queue struct {
 	cur   circuit.Time // scan start: no pending time is below cur
 	wheel int          // updates resident in the wheel
 	over  []overflowEntry
+	seq   int64 // next overflow insertion sequence number
 	n     int
 }
 
@@ -80,6 +92,61 @@ func (q *Queue) Schedule(t circuit.Time, up Update) {
 		// resident entry predates several wheel advances): overflow.
 	}
 	q.pushOverflow(overflowEntry{t: t, up: up})
+}
+
+// Entry is one pending update together with its scheduled time, exposed for
+// checkpointing.
+type Entry struct {
+	T     circuit.Time
+	Node  circuit.NodeID
+	Value logic.Value
+}
+
+// Dump returns the queue's scan cursor and every pending update in the exact
+// order PopNext would deliver them. The receiver is not modified: the drain
+// runs on a deep copy, so Dump is safe at any quiescent point.
+func (q *Queue) Dump() (circuit.Time, []Entry) {
+	clone := &Queue{
+		slots: make([]slot, len(q.slots)),
+		mask:  q.mask,
+		cur:   q.cur,
+		wheel: q.wheel,
+		over:  append([]overflowEntry(nil), q.over...),
+		seq:   q.seq,
+		n:     q.n,
+	}
+	for i := range q.slots {
+		clone.slots[i].t = q.slots[i].t
+		clone.slots[i].ups = append([]Update(nil), q.slots[i].ups...)
+	}
+	entries := make([]Entry, 0, q.n)
+	for {
+		t, ups, ok := clone.PopNext()
+		if !ok {
+			break
+		}
+		for _, up := range ups {
+			entries = append(entries, Entry{T: t, Node: up.Node, Value: up.Value})
+		}
+	}
+	return q.cur, entries
+}
+
+// Restore resets the queue to hold exactly the given entries with the scan
+// cursor at cur. Entries must be in Dump order (non-decreasing time);
+// rescheduling them in that order reproduces pop order deterministically.
+func (q *Queue) Restore(cur circuit.Time, entries []Entry) {
+	for i := range q.slots {
+		q.slots[i] = slot{}
+	}
+	q.cur = cur
+	q.wheel = 0
+	q.over = nil
+	q.seq = 0
+	q.n = 0
+	for _, e := range entries {
+		q.Schedule(e.T, Update{Node: e.Node, Value: e.Value})
+	}
 }
 
 // Peek returns the earliest pending time.
@@ -137,11 +204,13 @@ func (q *Queue) scanWheel() circuit.Time {
 }
 
 func (q *Queue) pushOverflow(e overflowEntry) {
+	e.seq = q.seq
+	q.seq++
 	q.over = append(q.over, e)
 	i := len(q.over) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if q.over[parent].t <= q.over[i].t {
+		if !q.over[i].less(q.over[parent]) {
 			break
 		}
 		q.over[parent], q.over[i] = q.over[i], q.over[parent]
@@ -158,10 +227,10 @@ func (q *Queue) popOverflow() overflowEntry {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < last && q.over[l].t < q.over[small].t {
+		if l < last && q.over[l].less(q.over[small]) {
 			small = l
 		}
-		if r < last && q.over[r].t < q.over[small].t {
+		if r < last && q.over[r].less(q.over[small]) {
 			small = r
 		}
 		if small == i {

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package harness
+
+// cpuTime reports 0 on platforms without rusage; callers fall back to wall
+// clock.
+func cpuTime() int64 { return 0 }

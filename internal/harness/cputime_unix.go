@@ -1,0 +1,18 @@
+//go:build unix
+
+package harness
+
+import "syscall"
+
+// cpuTime returns the process's cumulative CPU time (user + system) in
+// nanoseconds, or 0 when unavailable. The overhead experiments prefer CPU
+// time over wall clock: on a shared host the wall noise from neighbouring
+// load exceeds the effects being measured, while CPU time bills exactly the
+// work this process did — including kernel time spent in fsync.
+func cpuTime() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

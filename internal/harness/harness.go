@@ -143,8 +143,12 @@ func Generate(id string, cfg Config) (*Figure, error) {
 		// Real-only too: engine=auto against the measured best-of-eight
 		// (`make bench-auto` writes BENCH_auto.json).
 		return a1(cfg), nil
+	case "c1":
+		// Real-only: checkpointing overhead on the paper circuits (`make
+		// bench-ckpt` writes BENCH_ckpt.json).
+		return c1(cfg), nil
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1, v2, f1, a1)", id, strings.Join(IDs(), ", "))
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1, v2, f1, a1, c1)", id, strings.Join(IDs(), ", "))
 }
 
 // procSweep returns the processor counts for curves: 1..8 then evens.

@@ -23,7 +23,12 @@ func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*eng
 		CostSpin:     cfg.CostSpin,
 		CollectAvail: cfg.CollectAvail,
 		Guard:        cfg.Guard,
+		Checkpoint:   cfg.CkptPlan,
+		Resume:       cfg.CkptSnap,
 	})
+	if res == nil {
+		return nil, err
+	}
 	return &engine.Report{Run: res.Run, Final: res.Final}, err
 }
 

@@ -50,6 +50,9 @@ type job struct {
 	faultStat bool
 	watch     []circuit.NodeID // nodes recorded for the /vcd endpoint
 	rec       *trace.Recorder  // nil unless watch nodes were requested
+	// resumeFrom names the snapshot a journal-recovered job continues
+	// from (empty = from scratch). Set only during startup recovery.
+	resumeFrom string
 
 	mu        sync.Mutex
 	state     jobState
@@ -63,16 +66,18 @@ type job struct {
 // jobView is the JSON shape of a job served by GET /v1/jobs/{id} and as
 // the body of the 202 submission response.
 type jobView struct {
-	ID       string         `json:"id"`
-	State    jobState       `json:"state"`
-	Engine   string         `json:"engine"`
-	Circuit  string         `json:"circuit"`
-	Workers  int            `json:"workers"`
-	Horizon  int64          `json:"horizon"`
-	QueuedMS int64          `json:"queued_ms"`        // time spent waiting for cores
-	RunMS    int64          `json:"run_ms,omitempty"` // wall time of the run itself
-	Error    string         `json:"error,omitempty"`  // terminal failure message
-	Result   *parsim.Result `json:"result,omitempty"` // present once the job finished
+	ID       string   `json:"id"`
+	State    jobState `json:"state"`
+	Engine   string   `json:"engine"`
+	Circuit  string   `json:"circuit"`
+	Workers  int      `json:"workers"`
+	Horizon  int64    `json:"horizon"`
+	QueuedMS int64    `json:"queued_ms"`        // time spent waiting for cores
+	RunMS    int64    `json:"run_ms,omitempty"` // wall time of the run itself
+	Error    string   `json:"error,omitempty"`  // terminal failure message
+	// Result is present once the job finished; a job recovered from the
+	// journal serves the result it finished with before the restart.
+	Result *parsim.Result `json:"result,omitempty"`
 }
 
 // view snapshots the job for serialisation.

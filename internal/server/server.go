@@ -65,6 +65,16 @@ type Config struct {
 	DefaultDeadline, MaxDeadline time.Duration
 	// RetryAfter is the hint returned with 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// StateDir enables crash durability: an append-only job journal plus
+	// per-job checkpoint snapshots live here, and New replays the journal
+	// on startup — finished jobs reappear in the status API with their
+	// saved results, interrupted ones are re-queued and resumed from
+	// their last snapshot. Empty (the default) disables durability.
+	StateDir string
+	// CheckpointEvery is the snapshot interval in simulated time steps for
+	// durable jobs on checkpoint-capable engines; 0 selects the engine
+	// default (engine.DefaultCheckpointEvery).
+	CheckpointEvery int64
 }
 
 func (c *Config) withDefaults() {
@@ -103,6 +113,7 @@ type Server struct {
 	budget *coreBudget
 	met    *metrics
 	jobs   *jobStore
+	jnl    *journal // nil unless Config.StateDir is set
 
 	nextID       atomic.Int64
 	runningJobs  atomic.Int64
@@ -113,8 +124,11 @@ type Server struct {
 	dispatchDone chan struct{}
 }
 
-// New builds a Server and starts its dispatcher.
-func New(cfg Config) *Server {
+// New builds a Server and starts its dispatcher. When Config.StateDir is
+// set, the job journal found there is replayed first — recovered jobs are
+// queued ahead of any new submissions — so the error return covers an
+// unreadable state directory or a corrupt journal.
+func New(cfg Config) (*Server, error) {
 	cfg.withDefaults()
 	s := &Server{
 		cfg:          cfg,
@@ -132,8 +146,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/vcd", s.handleVCD)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.StateDir != "" {
+		if err := s.openState(); err != nil {
+			return nil, err
+		}
+	}
 	go s.dispatch()
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving the API.
@@ -242,36 +261,65 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	eng, err := engine.Get(req.Engine)
+	j, status, err := s.buildJob(&req)
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, "%v", err)
+		s.reject(w, status, "%v", err)
 		return
 	}
-	if req.Horizon <= 0 {
-		s.reject(w, http.StatusBadRequest, "horizon must be > 0, got %d", req.Horizon)
+	seq := s.nextID.Add(1)
+	j.id = fmt.Sprintf("j-%06d", seq)
+	j.submitted = time.Now()
+	// Journal the acceptance before it becomes externally visible, so a
+	// crash after the 202 never loses the job.
+	s.logJournal(journalRecord{Type: recAccepted, Job: j.id, Seq: seq, Req: &req})
+	if err := s.queue.push(j); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.reject(w, http.StatusTooManyRequests,
+				"queue full (%d jobs); retry later", s.cfg.MaxQueue)
+			return
+		}
+		s.reject(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
 		return
+	}
+	s.jobs.add(j)
+	s.met.onSubmit()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view(time.Now()))
+}
+
+// buildJob validates a submission and assembles the job record; the
+// handler assigns the id and timestamps. On refusal it returns the HTTP
+// status the submission deserves. Journal recovery reuses it so a
+// replayed request passes exactly the admission checks a live one does.
+func (s *Server) buildJob(req *jobRequest) (*job, int, error) {
+	fail := func(status int, format string, args ...any) (*job, int, error) {
+		return nil, status, fmt.Errorf(format, args...)
+	}
+	eng, err := engine.Get(req.Engine)
+	if err != nil {
+		return fail(http.StatusBadRequest, "%v", err)
+	}
+	if req.Horizon <= 0 {
+		return fail(http.StatusBadRequest, "horizon must be > 0, got %d", req.Horizon)
 	}
 	workers := req.Workers
 	if workers == 0 {
 		workers = 1
 	}
 	if workers < 0 {
-		s.reject(w, http.StatusBadRequest, "workers must be >= 0, got %d", workers)
-		return
+		return fail(http.StatusBadRequest, "workers must be >= 0, got %d", workers)
 	}
 	if eng.Name() == "sequential" {
 		workers = 1 // the reference engine is single-threaded by definition
 	}
 	if workers > s.budget.Budget() {
-		s.reject(w, http.StatusBadRequest,
+		return fail(http.StatusBadRequest,
 			"workers %d exceeds the server's core budget %d; the job could never be scheduled",
 			workers, s.budget.Budget())
-		return
 	}
 	lint, err := engine.ParseLintMode(req.Lint)
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, "%v", err)
-		return
+		return fail(http.StatusBadRequest, "%v", err)
 	}
 	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
 	if deadline <= 0 {
@@ -281,31 +329,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		deadline = s.cfg.MaxDeadline
 	}
 	if req.WatchdogMS < 0 || req.DeadlineMS < 0 {
-		s.reject(w, http.StatusBadRequest, "deadline_ms and watchdog_ms must be >= 0")
-		return
+		return fail(http.StatusBadRequest, "deadline_ms and watchdog_ms must be >= 0")
 	}
 	if req.Lanes < 0 || req.Lanes > logic.MaxWideLanes {
-		s.reject(w, http.StatusBadRequest, "lanes must be in [0,%d], got %d", logic.MaxWideLanes, req.Lanes)
-		return
+		return fail(http.StatusBadRequest, "lanes must be in [0,%d], got %d", logic.MaxWideLanes, req.Lanes)
 	}
 	lanes := req.Lanes
 	if lanes == 0 {
 		lanes = logic.MaxLanes
 	}
 	if req.ProbeLane < 0 || req.ProbeLane >= lanes {
-		s.reject(w, http.StatusBadRequest, "probe_lane %d outside [0,%d)", req.ProbeLane, lanes)
-		return
+		return fail(http.StatusBadRequest, "probe_lane %d outside [0,%d)", req.ProbeLane, lanes)
 	}
 	if req.FaultSim {
 		if eng.Name() != "vector" {
-			s.reject(w, http.StatusBadRequest,
+			return fail(http.StatusBadRequest,
 				"fault_sim requires the vector engine, not %q", eng.Name())
-			return
 		}
 		if lanes < 2 {
-			s.reject(w, http.StatusBadRequest,
+			return fail(http.StatusBadRequest,
 				"fault_sim needs at least 2 lanes (good machine + one fault), got %d", lanes)
-			return
 		}
 	}
 
@@ -316,11 +359,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if errors.Is(err, netlist.ErrLimit) {
-			s.reject(w, http.StatusRequestEntityTooLarge, "%v", err)
-			return
+			return fail(http.StatusRequestEntityTooLarge, "%v", err)
 		}
-		s.reject(w, http.StatusBadRequest, "netlist: %v", err)
-		return
+		return fail(http.StatusBadRequest, "netlist: %v", err)
 	}
 	// Lane-width-aware admission: a vector job's state footprint scales
 	// with nodes x plane words, so a wide-lane job must fit the same node
@@ -328,10 +369,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// carry one machine word per node either way.
 	if eng.Name() == "vector" {
 		if words := logic.PlaneWords(lanes); len(circ.Nodes)*words > s.cfg.MaxNodes {
-			s.reject(w, http.StatusRequestEntityTooLarge,
+			return fail(http.StatusRequestEntityTooLarge,
 				"circuit nodes (%d) x plane words (%d) exceeds the node budget %d; lower lanes or shrink the netlist",
 				len(circ.Nodes), words, s.cfg.MaxNodes)
-			return
 		}
 	}
 
@@ -339,8 +379,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for _, name := range req.Watch {
 		n := circ.FindNode(strings.TrimSpace(name))
 		if n == nil {
-			s.reject(w, http.StatusBadRequest, "watch: no node named %q", name)
-			return
+			return fail(http.StatusBadRequest, "watch: no node named %q", name)
 		}
 		watch = append(watch, n.ID)
 	}
@@ -367,21 +406,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(watch) > 0 {
 		j.rec = trace.NewRecorderFor(watch...)
 	}
-	j.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
-	j.submitted = time.Now()
-	if err := s.queue.push(j); err != nil {
-		if errors.Is(err, errQueueFull) {
-			s.reject(w, http.StatusTooManyRequests,
-				"queue full (%d jobs); retry later", s.cfg.MaxQueue)
-			return
-		}
-		s.reject(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
-		return
-	}
-	s.jobs.add(j)
-	s.met.onSubmit()
-	w.Header().Set("Location", "/v1/jobs/"+j.id)
-	writeJSON(w, http.StatusAccepted, j.view(time.Now()))
+	return j, http.StatusOK, nil
 }
 
 // handleList is GET /v1/jobs.
@@ -503,6 +528,7 @@ func (s *Server) runJob(j *job) {
 	start := time.Now()
 	s.met.onStart(start.Sub(j.submitted))
 	j.setRunning(start)
+	s.logJournal(journalRecord{Type: recStarted, Job: j.id})
 	s.runningJobs.Add(1)
 	defer s.runningJobs.Add(-1)
 
@@ -529,13 +555,45 @@ func (s *Server) runJob(j *job) {
 		cfg.Probe = j.rec
 	}
 	if j.fallback {
-		cfg.Fallback = "sequential"
+		cfg.Fallback = engine.FallbackPolicy{Engine: "sequential"}
+	}
+	// Durable jobs on checkpoint-capable engines snapshot periodically —
+	// and once more at the stop boundary if the run is cancelled — so a
+	// crashed or drained daemon resumes them instead of replaying from
+	// t=0. The journal records each snapshot as it reaches disk.
+	if s.jnl != nil && engine.SupportsCheckpoint(j.engine) {
+		cfg.Checkpoint = engine.CheckpointSpec{
+			Path:       s.ckptPath(j.id),
+			EverySteps: s.cfg.CheckpointEvery,
+			OnSave: func(step int64) {
+				s.logJournal(journalRecord{Type: recCheckpointed, Job: j.id, Step: step})
+			},
+		}
+		cfg.ResumeFrom = j.resumeFrom
 	}
 	rep, err := engine.Run(ctx, j.engine, j.circ.Clone(), cfg)
 
 	end := time.Now()
 	serverCancelled := s.baseCtx.Err() != nil && errors.Is(err, context.Canceled)
-	state := j.finish(resultFromReport(rep), err, end, serverCancelled)
+	res := resultFromReport(rep)
+	state := j.finish(res, err, end, serverCancelled)
+	if s.jnl != nil {
+		switch state {
+		case jobDone:
+			rec := journalRecord{Type: recDone, Job: j.id}
+			if b, merr := json.Marshal(res); merr == nil {
+				rec.Result = b
+			}
+			s.logJournal(rec)
+		case jobCancelled:
+			// Shutdown-cancelled: deliberately no terminal record. The job
+			// stays in-flight in the journal, so the next startup re-queues
+			// it and resumes from the final snapshot the cancel wrote —
+			// a drain interrupts the work, it doesn't lose it.
+		default:
+			s.logJournal(journalRecord{Type: recFailed, Job: j.id, Error: err.Error()})
+		}
+	}
 	var tot stats.WorkerCounters
 	degraded := false
 	if rep != nil {
@@ -567,6 +625,7 @@ func resultFromReport(rep *engine.Report) *parsim.Result {
 		PeakLog:       rep.PeakLog,
 		Rounds:        rep.Rounds,
 		Degraded:      rep.Degraded,
+		Resumed:       rep.Resumed,
 		Fault:         rep.Fault,
 		Selected:      rep.Selected,
 	}
@@ -588,12 +647,19 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.running.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Every job goroutine has returned; no more appends are coming.
+	if s.jnl != nil {
+		if cerr := s.jnl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -91,7 +91,10 @@ type testServer struct {
 
 func newTestServer(t *testing.T, cfg Config) *testServer {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

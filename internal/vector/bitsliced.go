@@ -213,7 +213,7 @@ func compileRom(el *circuit.Element, ins []span, out, w, words int) func(cur, ne
 // Z-normalised write data at the matching entry per lane; a write at an
 // unknown address poisons that lane's whole memory; reads blend entries
 // under the same match masks, unknown-address lanes reading all-X.
-func compileRam(el *circuit.Element, ins []span, out, w, words int) func(cur, next []logic.WidePlane) {
+func compileRam(el *circuit.Element, ins []span, out, w, words int) (func(cur, next []logic.WidePlane), []logic.WidePlane) {
 	clk, we := int(ins[0].off), int(ins[1].off)
 	addr, aw := int(ins[2].off), int(ins[2].w)
 	wdata := int(ins[3].off)
@@ -233,11 +233,13 @@ func compileRam(el *circuit.Element, ins []span, out, w, words int) func(cur, ne
 		logic.BroadcastValueWide(mem[e*w:(e+1)*w], init)
 	}
 
+	state := append([]logic.WidePlane{prevClk}, mem...)
+
 	resV := make([]uint64, w)
 	resU := make([]uint64, w)
 	match := make([]uint64, entries)
 	xw := logic.PlaneBroadcast(logic.X)
-	return func(cur, next []logic.WidePlane) {
+	run := func(cur, next []logic.WidePlane) {
 		for wd := 0; wd < words; wd++ {
 			c := cur[clk].Word(wd)
 			edge := prevClk.Word(wd).LMask() & c.HMask()
@@ -292,4 +294,5 @@ func compileRam(el *circuit.Element, ins []span, out, w, words int) func(cur, ne
 			}
 		}
 	}
+	return run, state
 }

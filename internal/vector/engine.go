@@ -22,6 +22,8 @@ func (eng) Run(ctx context.Context, c *circuit.Circuit, cfg engine.Config) (*eng
 		Lanes:      cfg.Lanes,
 		LaneStride: cfg.LaneStride,
 		ProbeLane:  cfg.ProbeLane,
+		Checkpoint: cfg.CkptPlan,
+		Resume:     cfg.CkptSnap,
 	}
 	if cfg.FaultSim {
 		opts.FaultSim = &FaultOptions{

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"parsim/internal/analyze"
+	"parsim/internal/checkpoint"
 	"parsim/internal/circuit"
 	"parsim/internal/logic"
 	"parsim/internal/stats"
@@ -89,22 +90,60 @@ func runFaultSim(ctx context.Context, c *circuit.Circuit, opts Options) (*Result
 		statuses[i] = stats.FaultStatus{Site: faults[i].Site(c), Step: -1}
 	}
 
+	// Resuming a fault simulation restarts at the snapshotted pass with the
+	// completed passes' statuses and counters already in hand; the in-flight
+	// pass's plane and detection state is restored inside runPass.
+	startPass, ran := 0, 0
+	var resumeAcc *checkpoint.RunCounters
+	if snap := opts.Resume; snap != nil {
+		fs := snap.Fault
+		if fs == nil {
+			return nil, fmt.Errorf("parsim: resume (vector): snapshot carries no fault-simulation state")
+		}
+		if len(fs.Statuses) != len(statuses) {
+			return nil, fmt.Errorf("parsim: resume (vector): snapshot has %d fault statuses, want %d",
+				len(fs.Statuses), len(statuses))
+		}
+		if fs.Pass < 0 || fs.Pass >= passes {
+			return nil, fmt.Errorf("parsim: resume (vector): snapshot pass %d outside [0,%d)", fs.Pass, passes)
+		}
+		copy(statuses, fs.Statuses)
+		startPass, ran = fs.Pass, fs.Ran
+		acc := fs.Acc
+		resumeAcc = &acc
+	}
+
 	var total *Result
 	var runErr error
-	ran := 0
-	for p := 0; p < passes; p++ {
+	for p := startPass; p < passes; p++ {
 		lo := p * perPass
 		hi := lo + perPass
 		if hi > len(faults) {
 			hi = len(faults)
 		}
 		fp := newFaultPass(c, faults[lo:hi], observe)
-		res, err := runPass(ctx, c, opts, fp)
+		fp.pass, fp.ran, fp.statuses = p, ran, statuses
+		if total != nil {
+			fp.acc = packRun(&total.Run)
+		} else if resumeAcc != nil {
+			fp.acc = *resumeAcc
+		}
+		passOpts := opts
+		if p != startPass {
+			passOpts.Resume = nil
+		}
+		res, err := runPass(ctx, c, passOpts, fp)
 		if res != nil {
 			fp.record(statuses[lo:hi])
 			ran++
 			if total == nil {
 				total = res
+				if resumeAcc != nil {
+					// Fold the completed passes' counters back in so the
+					// stitched totals match an uninterrupted run's.
+					addRunCounters(&total.Run, *resumeAcc)
+					resumeAcc = nil
+				}
 			} else {
 				total.Final = res.Final
 				mergeRun(&total.Run, &res.Run)
@@ -141,6 +180,35 @@ func runFaultSim(ctx context.Context, c *circuit.Circuit, opts Options) (*Result
 	total.FaultCoverage = cov
 	total.Run.Algorithm += "+faults"
 	return total, runErr
+}
+
+// packRun extracts the accumulating counters of a running total into the
+// snapshot wire form; addRunCounters folds them back in on resume. The two
+// cover exactly the fields mergeRun sums across passes.
+func packRun(r *stats.Run) checkpoint.RunCounters {
+	return checkpoint.RunCounters{
+		TimeSteps:   r.TimeSteps,
+		NodeUpdates: r.NodeUpdates,
+		Evals:       r.Evals,
+		ModelCalls:  r.ModelCalls,
+		EventsUsed:  r.EventsUsed,
+		Wall:        r.Wall,
+		PerWorker:   append([]stats.WorkerCounters(nil), r.PerWorker...),
+	}
+}
+
+func addRunCounters(dst *stats.Run, acc checkpoint.RunCounters) {
+	dst.TimeSteps += acc.TimeSteps
+	dst.NodeUpdates += acc.NodeUpdates
+	dst.Evals += acc.Evals
+	dst.ModelCalls += acc.ModelCalls
+	dst.EventsUsed += acc.EventsUsed
+	dst.Wall += acc.Wall
+	for i := range dst.PerWorker {
+		if i < len(acc.PerWorker) {
+			dst.PerWorker[i].Accumulate(acc.PerWorker[i])
+		}
+	}
 }
 
 // mergeRun accumulates one pass's run stats into the running total.
@@ -184,8 +252,8 @@ func (in faultInj) apply(dst []logic.WidePlane) {
 // Observation nodes are split round-robin; each worker records detections
 // in its own masks, merged when the pass finishes.
 type faultPass struct {
-	c       *circuit.Circuit
-	faults  []analyze.Fault
+	c        *circuit.Circuit
+	faults   []analyze.Fault
 	obsNodes []circuit.NodeID
 
 	words    int
@@ -194,6 +262,16 @@ type faultPass struct {
 	obs      [][]span     // observation spans per worker
 	det      [][]uint64   // per-worker detected lane masks [worker][word]
 	first    [][]int64    // per-worker first-detection step per fault, -1 = none
+
+	// Snapshot context, set by runFaultSim before the pass starts: the
+	// pass index, how many passes completed before it, the full status
+	// table (rows for completed passes filled in) and the counters merged
+	// from completed passes. Mid-pass checkpoints carry these along so a
+	// restart re-enters the chunk loop where it left off.
+	pass     int
+	ran      int
+	statuses []stats.FaultStatus
+	acc      checkpoint.RunCounters
 }
 
 func newFaultPass(c *circuit.Circuit, faults []analyze.Fault, observe []circuit.NodeID) *faultPass {

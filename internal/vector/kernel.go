@@ -81,6 +81,13 @@ type kernel struct {
 	cost int64
 	outs []span
 	run  func(cur, next []logic.WidePlane)
+	// state aliases the closure-captured plane rows of stateful kernels —
+	// a flip-flop's previous clock and held output, a latch's output, a
+	// RAM's memory array — so a checkpoint can read and restore them in
+	// place (WidePlane copies share their backing words). laneState aliases
+	// the per-lane scalar state of fallback kernels the same way.
+	state     []logic.WidePlane
+	laneState [][]logic.Value
 }
 
 // compileElem translates one element into its plane-op kernel. Gate,
@@ -134,6 +141,7 @@ func compileElem(c *circuit.Circuit, el *circuit.Element, lay layout, lanes int)
 		clk, d := int(ins[0].off), int(ins[1].off)
 		prevClk := wideRow(1, words, logic.X)[0]
 		q := wideRow(w, words, logic.X)
+		k.state = append([]logic.WidePlane{prevClk}, q...)
 		k.run = func(cur, next []logic.WidePlane) {
 			for wd := 0; wd < words; wd++ {
 				c := cur[clk].Word(wd)
@@ -151,6 +159,7 @@ func compileElem(c *circuit.Circuit, el *circuit.Element, lay layout, lanes int)
 		clk, rst, d := int(ins[0].off), int(ins[1].off), int(ins[2].off)
 		prevClk := wideRow(1, words, logic.X)[0]
 		q := wideRow(w, words, logic.X)
+		k.state = append([]logic.WidePlane{prevClk}, q...)
 		initRow := make([]logic.Plane, w)
 		logic.BroadcastValue(initRow, el.Params.Init)
 		k.run = func(cur, next []logic.WidePlane) {
@@ -171,6 +180,7 @@ func compileElem(c *circuit.Circuit, el *circuit.Element, lay layout, lanes int)
 	case circuit.KindLatch:
 		en, d := int(ins[0].off), int(ins[1].off)
 		q := wideRow(w, words, logic.X)
+		k.state = q
 		k.run = func(cur, next []logic.WidePlane) {
 			for wd := 0; wd < words; wd++ {
 				enH := cur[en].Word(wd).HMask()
@@ -357,12 +367,12 @@ func compileElem(c *circuit.Circuit, el *circuit.Element, lay layout, lanes int)
 	case circuit.KindRom:
 		k.run = compileRom(el, ins, out, w, words)
 	case circuit.KindRam:
-		k.run = compileRam(el, ins, out, w, words)
+		k.run, k.state = compileRam(el, ins, out, w, words)
 
 	default:
 		// Per-lane scalar fallback for any future kind: correct for every
 		// registry element, at scalar speed.
-		k.run = compileScalar(el, ins, k.outs, lanes)
+		k.run, k.laneState = compileScalar(el, ins, k.outs, lanes)
 	}
 	return k
 }
@@ -535,18 +545,21 @@ func compileAdd(ins []span, out, w, words int, sub bool, coutOff int) func(cur, 
 // compileScalar is the per-lane fallback: unpack each lane's inputs into
 // scalar Values, run the element's registry eval with that lane's own
 // state, and pack the outputs back. One worker owns the kernel, so the
-// scratch buffers and per-lane state race with nobody.
-func compileScalar(el *circuit.Element, ins []span, outs []span, lanes int) func(cur, next []logic.WidePlane) {
+// scratch buffers and per-lane state race with nobody. The second return
+// value exposes the per-lane state (nil for stateless elements) so
+// checkpoints can capture and restore it in place.
+func compileScalar(el *circuit.Element, ins []span, outs []span, lanes int) (func(cur, next []logic.WidePlane), [][]logic.Value) {
 	states := make([][]logic.Value, lanes)
-	if n := el.NumStateVals(); n > 0 {
+	stateful := el.NumStateVals() > 0
+	if stateful {
 		for l := range states {
-			states[l] = make([]logic.Value, n)
+			states[l] = make([]logic.Value, el.NumStateVals())
 			el.InitState(states[l])
 		}
 	}
 	in := make([]logic.Value, len(ins))
 	out := make([]logic.Value, len(outs))
-	return func(cur, next []logic.WidePlane) {
+	run := func(cur, next []logic.WidePlane) {
 		for l := 0; l < lanes; l++ {
 			for i, sp := range ins {
 				in[i] = logic.ExtractLaneWide(cur[sp.off:sp.off+sp.w], l, int(sp.w))
@@ -557,6 +570,10 @@ func compileScalar(el *circuit.Element, ins []span, outs []span, lanes int) func
 			}
 		}
 	}
+	if !stateful {
+		return run, nil
+	}
+	return run, states
 }
 
 // genKernel is one stimulus generator: clock/wave/const outputs are lane-

@@ -21,6 +21,7 @@ import (
 
 	"parsim/internal/analyze"
 	"parsim/internal/barrier"
+	"parsim/internal/checkpoint"
 	"parsim/internal/circuit"
 	"parsim/internal/engine"
 	"parsim/internal/guard"
@@ -56,6 +57,15 @@ type Options struct {
 	// is forced to 0), lane 0 simulates the good machine and lanes 1..N
 	// carry one injected fault each from the list. See fault.go.
 	FaultSim *FaultOptions
+
+	// Checkpoint asks for periodic snapshots at the per-step barrier, the
+	// quiescent point where every worker has finished the previous step
+	// and none has started the next. Fault-simulation runs snapshot
+	// mid-pass, carrying the cross-pass detection state along.
+	Checkpoint checkpoint.Plan
+	// Resume continues from a verified snapshot; the resumed run replays
+	// bit-identically to an uninterrupted one, lane for lane.
+	Resume *checkpoint.Snapshot
 }
 
 // Result is the outcome of a batched run.
@@ -93,6 +103,13 @@ type sim struct {
 	// publishes it during step stopAt-1; the step barrier makes the write
 	// visible to all workers before any of them reaches step stopAt.
 	stopAt atomic.Int64
+
+	startT circuit.Time       // resume step (0 for a fresh run)
+	ckptW  *checkpoint.Writer // background snapshot writer; nil when disabled
+	// ckptErr is worker 0's snapshot failure, published before the
+	// post-save barrier release (an atomic edge), so every worker observes
+	// it right after its uncounted Wait and the gang exits together.
+	ckptErr error
 
 	// fault is the per-pass fault-simulation state, nil outside fault mode.
 	fault *faultPass
@@ -175,6 +192,24 @@ func runPass(ctx context.Context, c *circuit.Circuit, opts Options, fp *faultPas
 			s.buf[side][i].Fill(logic.X)
 		}
 	}
+	if opts.Resume != nil {
+		// The snapshot replaces the t=0 initialisation wholesale: both
+		// buffer sides take the checkpointed planes (driven nodes are fully
+		// rewritten each step, undriven nodes must stay constant), kernel
+		// state and counters pick up where they left off, and the generator
+		// init below is skipped — its node update is already counted in the
+		// restored counters.
+		if err := s.restore(opts.Resume); err != nil {
+			return nil, err
+		}
+		if fp != nil {
+			// The restored planes already carry the injected faults;
+			// re-asserting them is idempotent and guards the undriven sites.
+			fp.inject(s.buf[0])
+			fp.inject(s.buf[1])
+		}
+		return s.finish(ctx, c, opts)
+	}
 	// Generators assume their t=0 values before the first step, mirroring
 	// the scalar engine: both buffer sides start consistent, the probe sees
 	// lane ProbeLane, and a change in any live lane counts one update.
@@ -209,7 +244,16 @@ func runPass(ctx context.Context, c *circuit.Circuit, opts Options, fp *faultPas
 		fp.inject(s.buf[0])
 		fp.inject(s.buf[1])
 	}
+	return s.finish(ctx, c, opts)
+}
 
+// finish runs the worker gang over the (freshly initialised or restored)
+// state and assembles the pass result.
+func (s *sim) finish(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
+	p := s.p
+	if opts.Checkpoint.Enabled() {
+		s.ckptW = checkpoint.NewWriter(opts.Checkpoint)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
@@ -231,6 +275,32 @@ func runPass(ctx context.Context, c *circuit.Circuit, opts Options, fp *faultPas
 	if sa := s.stopAt.Load(); sa > 0 && circuit.Time(sa) < opts.Horizon-1 {
 		steps = sa + 1
 		planes = s.buf[int(sa)&1]
+	}
+	if opts.Checkpoint.Enabled() && s.ckptErr == nil && s.cancel.Cancelled() {
+		// A clean stop (stopAt published, every worker left at that step
+		// boundary) is a quiescent point; capture it so a drained run can
+		// be resumed. A guard trip aborts the barrier without publishing
+		// stopAt — that state is untrusted and deliberately not saved.
+		if sa := s.stopAt.Load(); sa > 0 {
+			if err := s.saveCheckpoint(circuit.Time(sa)); err != nil {
+				s.ckptErr = err
+			}
+		}
+	}
+	if s.ckptW != nil {
+		// Flush the newest pending snapshot before returning, so a drain's
+		// final capture is durable when the caller proceeds. A run that
+		// completed its horizon has nothing left to resume — drop the
+		// pending capture instead of paying a useless final fsync.
+		if !s.cancel.Cancelled() {
+			s.ckptW.DiscardPending()
+		}
+		if cerr := s.ckptW.Close(); cerr != nil && s.ckptErr == nil {
+			s.ckptErr = cerr
+		}
+	}
+	if s.ckptErr != nil {
+		return nil, s.ckptErr
 	}
 	res := &Result{
 		Final:     s.extractLane(planes, opts.ProbeLane),
@@ -281,16 +351,38 @@ func (s *sim) extractLane(planes []logic.WidePlane, lane int) []logic.Value {
 func (s *sim) worker(id int) {
 	var sense barrier.Sense
 	var idle time.Duration
-	defer func() { s.wc[id].Idle = idle }()
+	defer func() { s.wc[id].Idle += idle }()
 
 	gens := s.gens[id]
 	kernels := s.parts[id]
 
 	// Step t computes node planes for t+1: read side t&1, write side
 	// (t+1)&1. The final step is Horizon-2 -> values at Horizon-1.
-	for t := circuit.Time(0); t < s.opts.Horizon-1; t++ {
+	for t := s.startT; t < s.opts.Horizon-1; t++ {
 		if sa := s.stopAt.Load(); sa > 0 && t >= circuit.Time(sa) {
 			return
+		}
+		// Periodic checkpoint at the step boundary: every worker computes
+		// the same due(t), so the gang meets at one extra (uncounted)
+		// barrier while worker 0 captures the quiesced state. The previous
+		// end-of-step barrier already synchronised everyone, so a single
+		// extra Wait suffices and the counted BarrierWaits total matches an
+		// uninterrupted run's.
+		if s.checkpointDue(t) {
+			// Ready gates the capture, not the barrier: every worker still
+			// meets here (the predicate is pure), and worker 0 skips packing
+			// a snapshot the throttled writer would only coalesce away.
+			if id == 0 && s.ckptW.Ready() {
+				if err := s.saveCheckpoint(t); err != nil {
+					s.ckptErr = err // published by the barrier release below
+				}
+			}
+			if !s.bar.Wait(&sense) {
+				return
+			}
+			if s.ckptErr != nil {
+				return
+			}
 		}
 		if id == 0 {
 			s.opts.Guard.Progress(int64(t))

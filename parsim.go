@@ -263,10 +263,10 @@ type Options struct {
 	// statically, ranks every engine through the cost model, and runs the
 	// predicted winner (Result.Selected records the decision; Workers acts
 	// as a budget the winner may undershoot but never exceed).
-	Engine string
-	Horizon   Time  // simulate t in [0, Horizon); required
-	Workers   int   // parallel workers; default 1
-	Probe     Probe // optional concurrency-safe observer
+	Engine  string
+	Horizon Time  // simulate t in [0, Horizon); required
+	Workers int   // parallel workers; default 1
+	Probe   Probe // optional concurrency-safe observer
 	// CostSpin > 0 burns CostSpin x the element's Cost of synthetic work
 	// per evaluation, restoring the paper's gate-vs-functional evaluation
 	// cost spread for benchmarking.
@@ -321,8 +321,26 @@ type Options struct {
 	Watchdog time.Duration
 	// Fallback transparently retries a run on the Sequential reference
 	// engine when the selected algorithm panics or stalls. The retried
-	// Result carries Degraded=true and the original error in Fault.
+	// Result carries Degraded=true and the original error (wrapped in a
+	// fallback error recording the attempt count) in Fault.
 	Fallback bool
+	// FallbackRetries is the number of fallback attempts (0 defaults to
+	// 1); FallbackDelay is the base of the capped exponential backoff
+	// applied between attempts (0 retries immediately).
+	FallbackRetries int
+	FallbackDelay   time.Duration
+	// Checkpoint names a snapshot file the run rewrites atomically every
+	// CheckpointEvery time steps (0 defaults to 256), at the quiescent
+	// per-step barrier. Only the synchronous algorithms (Sequential,
+	// Compiled, Vector — including FaultSim) support checkpointing.
+	Checkpoint      string
+	CheckpointEvery int64
+	// ResumeFrom names a snapshot to continue from instead of starting at
+	// t=0. The snapshot must match this run's netlist, algorithm and
+	// options (verified by content digest); the resumed run's final
+	// states, lane finals and probe history are bit-identical to an
+	// uninterrupted run's. Result.Resumed reports that the path was taken.
+	ResumeFrom string
 	// Chaos injects faults (induced panics, delays, dropped wakeups)
 	// into the run, for testing the supervision layer. Leave nil in
 	// production.
@@ -356,6 +374,9 @@ type Result struct {
 	// Fault holds the original algorithm's error.
 	Degraded bool
 	Fault    error
+	// Resumed marks a run continued from an Options.ResumeFrom snapshot
+	// rather than simulated from t=0.
+	Resumed bool
 	// Selected records an engine=auto run's decision: the winning engine
 	// and configuration, the per-engine ranking, and the static circuit
 	// profile that justified it. Nil for directly selected algorithms.
@@ -405,9 +426,13 @@ func Simulate(c *Circuit, opts Options) (*Result, error) {
 // String) is the registry key, so this function, the CLIs, the figure
 // harness and the benchmarks all resolve algorithms through one table.
 func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
-	fallback := ""
+	var fallback engine.FallbackPolicy
 	if opts.Fallback {
-		fallback = Sequential.String()
+		fallback = engine.FallbackPolicy{
+			Engine:     Sequential.String(),
+			MaxRetries: opts.FallbackRetries,
+			BaseDelay:  opts.FallbackDelay,
+		}
 	}
 	name := opts.Engine
 	if name == "" {
@@ -433,6 +458,11 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		FaultSim:       opts.FaultSim,
 		FaultMaxPasses: opts.FaultMaxPasses,
 		FaultStatuses:  opts.FaultStatuses,
+		Checkpoint: engine.CheckpointSpec{
+			Path:       opts.Checkpoint,
+			EverySteps: opts.CheckpointEvery,
+		},
+		ResumeFrom: opts.ResumeFrom,
 	})
 	if rep == nil {
 		return nil, err
@@ -450,6 +480,7 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 		Rounds:        rep.Rounds,
 		Degraded:      rep.Degraded,
 		Fault:         rep.Fault,
+		Resumed:       rep.Resumed,
 		Selected:      rep.Selected,
 	}, err
 }

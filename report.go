@@ -45,6 +45,7 @@ type resultJSON struct {
 	PeakLog       int64          `json:"peak_log,omitempty"`
 	Rounds        int64          `json:"rounds,omitempty"`
 	Degraded      bool           `json:"degraded,omitempty"`
+	Resumed       bool           `json:"resumed,omitempty"`
 	Fault         string         `json:"fault,omitempty"`
 	Selected      *Selection     `json:"selected,omitempty"`
 }
@@ -60,6 +61,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		PeakLog:       r.PeakLog,
 		Rounds:        r.Rounds,
 		Degraded:      r.Degraded,
+		Resumed:       r.Resumed,
 		Selected:      r.Selected,
 	}
 	if r.Fault != nil {
@@ -95,6 +97,7 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		PeakLog:       in.PeakLog,
 		Rounds:        in.Rounds,
 		Degraded:      in.Degraded,
+		Resumed:       in.Resumed,
 		Selected:      in.Selected,
 	}
 	if in.Fault != "" {

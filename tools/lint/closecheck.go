@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// writableOpeners are the os functions that yield a file the process will
+// write: Create and CreateTemp always, OpenFile when its flag argument
+// names a writing mode. Read-only files are exempt — a discarded Close on
+// them loses nothing.
+var writableOpeners = map[string]bool{"Create": true, "CreateTemp": true}
+
+// writableFlags are the os.OpenFile flag names that make the handle
+// writable.
+var writableFlags = []string{"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC"}
+
+// writableOpenCall reports whether call opens a writable os.File.
+func writableOpenCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "os" {
+		return false
+	}
+	if writableOpeners[sel.Sel.Name] {
+		return true
+	}
+	if sel.Sel.Name != "OpenFile" || len(call.Args) < 2 {
+		return false
+	}
+	flags := exprText(call.Args[1])
+	for _, f := range writableFlags {
+		if strings.Contains(flags, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// closecheck flags writable files whose Close or Sync error is silently
+// discarded. On a buffered filesystem the write error often surfaces only
+// at fsync/close time: a `defer f.Close()` or bare `f.Close()` on a file
+// opened with os.Create/os.OpenFile(O_WRONLY...) can swallow the only
+// notification that the data never reached disk — checkpoint snapshots,
+// journals and reports written that way look durable and are not. Check
+// the error (`if err := f.Close(); err != nil`) or, on a path that is
+// already failing, discard it explicitly with `_ = f.Close()`.
+//
+// Per-function and purely syntactic: identifiers assigned from a writable
+// os open in the same function are tracked; a DeferStmt or ExprStmt
+// calling their Close/Sync discards the error and is flagged. Uses of the
+// returned error (assignment, if-init, return) are not flagged.
+var closecheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "flag discarded Close/Sync errors on writable files; check them or discard explicitly with _ =",
+	Run: func(fset *token.FileSet, f *ast.File) []Diagnostic {
+		var out []Diagnostic
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Pass 1: identifiers bound to a writable file in this function.
+			writable := map[string]token.Pos{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				asg, ok := n.(*ast.AssignStmt)
+				if !ok || len(asg.Rhs) != 1 {
+					return true
+				}
+				call, ok := asg.Rhs[0].(*ast.CallExpr)
+				if !ok || !writableOpenCall(call) {
+					return true
+				}
+				// `f, err := os.Create(...)`: the file is the first lvalue.
+				// Keep the earliest binding position: only Close/Sync calls
+				// after it are considered, so a read-only file that happens
+				// to share the name in an earlier block is not tainted.
+				if id, ok := asg.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if prev, seen := writable[id.Name]; !seen || asg.Pos() < prev {
+						writable[id.Name] = asg.Pos()
+					}
+				}
+				return true
+			})
+			if len(writable) == 0 {
+				continue
+			}
+			// Pass 2: discarded Close/Sync results on those identifiers.
+			flag := func(call *ast.CallExpr, deferred bool) {
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return
+				}
+				bound, isFile := writable[id.Name]
+				if !isFile || call.Pos() < bound {
+					return
+				}
+				if sel.Sel.Name != "Close" && sel.Sel.Name != "Sync" {
+					return
+				}
+				how := fmt.Sprintf("%s.%s()", id.Name, sel.Sel.Name)
+				if deferred {
+					how = "defer " + how
+				}
+				out = append(out, Diagnostic{
+					Pos:  fset.Position(call.Pos()),
+					Code: "closecheck",
+					Msg: fmt.Sprintf("%s discards the error of a writable file: a delayed write failure is silently lost — check it, or discard explicitly with `_ = %s.%s()` on an already-failing path",
+						how, id.Name, sel.Sel.Name),
+				})
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.DeferStmt:
+					flag(n.Call, true)
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						flag(call, false)
+					}
+				case *ast.GoStmt:
+					flag(n.Call, false)
+				}
+				return true
+			})
+		}
+		return out
+	},
+}

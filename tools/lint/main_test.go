@@ -409,3 +409,119 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s: %s: %s", d.Pos, d.Code, d.Msg)
 	}
 }
+
+func TestClosecheckDeferOnCreate(t *testing.T) {
+	src := `package p
+
+import "os"
+
+func write(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+`
+	diags := apply(t, src)
+	found := false
+	for _, d := range diags {
+		if d.Code == "closecheck" && strings.Contains(d.Msg, "defer f.Close()") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defer f.Close() on a created file not flagged: %v", codes(diags))
+	}
+}
+
+func TestClosecheckBareSyncAndClose(t *testing.T) {
+	src := `package p
+
+import "os"
+
+func write(path string) {
+	f, _ := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Sync()
+	f.Close()
+}
+`
+	diags := apply(t, src)
+	n := 0
+	for _, d := range diags {
+		if d.Code == "closecheck" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("want 2 closecheck findings (Sync and Close), got %d: %v", n, codes(diags))
+	}
+}
+
+func TestClosecheckCleanPatterns(t *testing.T) {
+	src := `package p
+
+import "os"
+
+// Checked close, explicit discard on the failing path, read-only files
+// and non-file idents must all stay silent.
+func write(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func read(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+`
+	diags := apply(t, src)
+	for _, d := range diags {
+		if d.Code == "closecheck" {
+			t.Fatalf("clean pattern flagged: %s: %s", d.Pos, d.Msg)
+		}
+	}
+}
+
+func TestClosecheckReadOnlyNameCollision(t *testing.T) {
+	// The same ident opens read-only in one block and writable in a later
+	// one; only the close after the writable binding may be flagged.
+	src := `package p
+
+import "os"
+
+func both(a, b string) {
+	{
+		f, _ := os.Open(a)
+		defer f.Close()
+	}
+	{
+		f, _ := os.Create(b)
+		defer f.Close()
+	}
+}
+`
+	diags := apply(t, src)
+	n := 0
+	for _, d := range diags {
+		if d.Code == "closecheck" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("want exactly 1 closecheck finding (the writable close), got %d: %v", n, codes(diags))
+	}
+}
