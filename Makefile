@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: build test race vet lint chaos serve-test auto-test ckpt-test check \
-	figures bench-diff bench-vector bench-vector2 bench-fault bench-auto \
-	bench-ckpt wide-test fuzz fuzz-smoke clean
+.PHONY: build test race vet lint chaos serve-test auto-test ckpt-test \
+	fleet-test check figures bench-diff bench-vector bench-vector2 \
+	bench-fault bench-auto bench-ckpt bench-fleet wide-test fuzz \
+	fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -53,7 +54,15 @@ ckpt-test:
 	$(GO) test -race -timeout 5m -count=1 -run 'TestJournal|TestRecovery|TestDrainResume' ./internal/server
 	$(GO) test -race -timeout 5m -count=1 ./cmd/parsimd
 
-check: build vet lint test race chaos serve-test auto-test ckpt-test
+## fleet-test runs the cluster suite under the race detector: the
+## consistent-hash ring and content-addressed key units, the coordinator
+## multi-node end-to-end tests (including the mid-run node-kill requeue
+## drill and fleet-wide backpressure), and the single-node dedup layer.
+fleet-test:
+	$(GO) test -race -timeout 10m -count=1 ./internal/cluster
+	$(GO) test -race -timeout 5m -count=1 -run 'TestDedup' ./internal/server
+
+check: build vet lint test race chaos serve-test auto-test ckpt-test fleet-test
 
 ## figures regenerates the quick machine-readable benchmark snapshot.
 figures:
@@ -104,6 +113,15 @@ bench-auto:
 ## time; acceptance is <=1.05x on every circuit.
 bench-ckpt:
 	$(GO) run ./cmd/figures -fig c1 -mode real -json BENCH_ckpt.json
+
+## bench-fleet regenerates the fleet-layer snapshot (d1): job throughput
+## of 1..3 coordinator-routed nodes via the deterministic fleet model
+## (real ring, real spill/backpressure policy; acceptance is >= 2.2x at
+## 3 nodes), plus a real measurement of dedup-hit latency against
+## re-simulating the identical submission (acceptance is >= 10x faster).
+## Add `-mode real` by hand to wall-clock an actual in-process fleet.
+bench-fleet:
+	$(GO) run ./cmd/figures -fig d1 -json BENCH_fleet.json
 
 ## wide-test runs the wide-plane and fault-simulation suites under the
 ## race detector — the same leg CI's wide-lane job runs.

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"parsim"
+	"parsim/internal/fleetbench"
 )
 
 func main() {
@@ -53,7 +54,22 @@ func main() {
 	}
 	var figures []*parsim.Figure
 	for _, id := range ids {
-		f, err := parsim.Experiment(id, cfg)
+		var f *parsim.Figure
+		var err error
+		if strings.EqualFold(id, "d1") {
+			// The fleet experiment boots real servers, which the harness
+			// cannot import (cycle through the facade), so it lives in its
+			// own package and is dispatched here.
+			f, err = fleetbench.Run(fleetbench.Options{
+				Real:  m == parsim.RealMode,
+				Quick: *quick,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			})
+		} else {
+			f, err = parsim.Experiment(id, cfg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)

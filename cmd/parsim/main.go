@@ -112,6 +112,7 @@ func main() {
 		ckptEvery   = flag.Int64("checkpoint-every", 0, "snapshot interval in time steps (0 = 256)")
 		resumeFrom  = flag.String("resume", "", "resume from a snapshot file written by -checkpoint; the run must use the same netlist and options")
 		jsonOut     = flag.Bool("json", false, "emit the run report as JSON (the same schema the parsimd daemon serves)")
+		submitAddr  = flag.String("submit", "", "run remotely: submit the job to a parsimd node or fleet coordinator at this address and poll for the result")
 	)
 	flag.Parse()
 
@@ -151,6 +152,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *submitAddr != "" {
+		var watchNames []string
+		if *watch != "" {
+			for _, n := range strings.Split(*watch, ",") {
+				watchNames = append(watchNames, strings.TrimSpace(n))
+			}
+		}
+		runSubmit(*submitAddr, c, submitRequest{
+			Engine:         eng.Name(),
+			Workers:        *workers,
+			Horizon:        *horizon,
+			DeadlineMS:     timeout.Milliseconds(),
+			WatchdogMS:     watchdog.Milliseconds(),
+			Lint:           *lintFlag,
+			Fallback:       *fallback,
+			CostSpin:       *spin,
+			Watch:          watchNames,
+			Lanes:          *lanes,
+			LaneStride:     *laneStride,
+			ProbeLane:      *probeLane,
+			FaultSim:       *faults,
+			FaultMaxPasses: *faultPasses,
+			FaultStatuses:  *faultStat,
+		}, *jsonOut)
+		return
+	}
+
 	opts := parsim.Options{
 		Engine:          eng.Name(),
 		Workers:         *workers,

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"parsim"
+)
+
+// submitRequest mirrors the parsimd submission body (the daemon's
+// jobRequest wire format), built from the same flags a local run uses.
+type submitRequest struct {
+	Netlist        string   `json:"netlist"`
+	Engine         string   `json:"engine"`
+	Workers        int      `json:"workers,omitempty"`
+	Horizon        int64    `json:"horizon"`
+	DeadlineMS     int64    `json:"deadline_ms,omitempty"`
+	WatchdogMS     int64    `json:"watchdog_ms,omitempty"`
+	Lint           string   `json:"lint,omitempty"`
+	Fallback       bool     `json:"fallback,omitempty"`
+	CostSpin       int64    `json:"cost_spin,omitempty"`
+	Watch          []string `json:"watch,omitempty"`
+	Lanes          int      `json:"lanes,omitempty"`
+	LaneStride     int64    `json:"lane_stride,omitempty"`
+	ProbeLane      int      `json:"probe_lane,omitempty"`
+	FaultSim       bool     `json:"fault_sim,omitempty"`
+	FaultMaxPasses int      `json:"fault_max_passes,omitempty"`
+	FaultStatuses  bool     `json:"fault_statuses,omitempty"`
+}
+
+// submitBaseURL normalises -submit into a URL prefix.
+func submitBaseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// runSubmit ships the run to a parsimd node or fleet coordinator instead
+// of simulating locally: POST the job, poll until it reaches a terminal
+// state, then print the result — the JSON view with -json, or the usual
+// text summary. The submission endpoint is the same on both a standalone
+// node and a coordinator, so -submit works against either.
+func runSubmit(addr string, c *parsim.Circuit, req submitRequest, jsonOut bool) {
+	var netText bytes.Buffer
+	if err := parsim.WriteNetlist(&netText, c); err != nil {
+		fatal(err)
+	}
+	req.Netlist = netText.String()
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := submitBaseURL(addr)
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(fmt.Errorf("submit to %s: %w", addr, err))
+	}
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("submit to %s: reading response: %w", addr, err))
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted, http.StatusOK:
+		// 202: queued, poll below. 200: a coordinator dedup hit — the view
+		// already carries the finished result.
+	case http.StatusTooManyRequests:
+		retry := resp.Header.Get("Retry-After")
+		fatal(fmt.Errorf("fleet full (429, retry after %ss): %s", retry, strings.TrimSpace(string(rb))))
+	default:
+		fatal(fmt.Errorf("submit rejected with status %d: %s", resp.StatusCode, strings.TrimSpace(string(rb))))
+	}
+
+	var view map[string]any
+	if err := json.Unmarshal(rb, &view); err != nil {
+		fatal(fmt.Errorf("malformed submit response: %w", err))
+	}
+	id, _ := view["id"].(string)
+	if id == "" {
+		fatal(fmt.Errorf("submit response carries no job id: %s", strings.TrimSpace(string(rb))))
+	}
+	if !jsonOut {
+		fmt.Printf("submitted %s to %s\n", id, addr)
+	}
+
+	for !terminalState(view) {
+		time.Sleep(150 * time.Millisecond)
+		view, err = fetchView(client, base, id)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	printView(view, jsonOut)
+}
+
+func terminalState(view map[string]any) bool {
+	switch view["state"] {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+func fetchView(client *http.Client, base, id string) (map[string]any, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, fmt.Errorf("polling job %s: %w", id, err)
+	}
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("polling job %s: %w", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("polling job %s: status %d: %s", id, resp.StatusCode, strings.TrimSpace(string(rb)))
+	}
+	var view map[string]any
+	if err := json.Unmarshal(rb, &view); err != nil {
+		return nil, fmt.Errorf("polling job %s: %w", id, err)
+	}
+	return view, nil
+}
+
+// printView renders a terminal job view: the raw JSON with -json (the
+// daemon's wire schema, indented), otherwise the same text summary a
+// local run prints, decoded from the embedded result.
+func printView(view map[string]any, jsonOut bool) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(view); err != nil {
+			fatal(err)
+		}
+		if view["state"] != "done" {
+			os.Exit(1)
+		}
+		return
+	}
+	state, _ := view["state"].(string)
+	if state != "done" {
+		msg, _ := view["error"].(string)
+		fatal(fmt.Errorf("job %v %s: %s", view["id"], state, msg))
+	}
+	if node, ok := view["node"].(string); ok {
+		fmt.Printf("ran on node %s", node)
+		if dedup, _ := view["deduped"].(bool); dedup {
+			fmt.Printf(" (served from the dedup cache)")
+		}
+		fmt.Println()
+	}
+	if runMS, ok := view["run_ms"].(float64); ok {
+		fmt.Printf("run time %s\n", time.Duration(runMS)*time.Millisecond)
+	}
+	rawRes, err := json.Marshal(view["result"])
+	if err != nil {
+		fatal(err)
+	}
+	res := new(parsim.Result)
+	if err := json.Unmarshal(rawRes, res); err != nil {
+		fatal(fmt.Errorf("decoding result: %w", err))
+	}
+	fmt.Println(res.Stats.String())
+	if res.FaultCoverage != nil {
+		fmt.Println(res.FaultCoverage.String())
+	}
+}

@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	parsimd -addr :8080 -cores 8 -queue 256
+//	parsimd -addr :8080 -cores 8 -queue 256            # standalone node
+//	parsimd -coordinator -addr :9000                    # fleet coordinator
+//	parsimd -addr :8080 -join host:9000                 # worker in a fleet
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -24,6 +26,19 @@
 // daemon replays the journal — finished jobs keep their results,
 // interrupted ones re-queue and resume from their last snapshot. A
 // kill -9 loses at most the steps since the last checkpoint.
+//
+// Identical submissions (same canonicalized netlist + result-affecting
+// options) are deduped against a bounded result cache of -dedup entries
+// instead of re-simulated; -dedup 0 turns that off.
+//
+// Fleet mode: -coordinator serves the same /v1/jobs API but routes each
+// submission to a worker by consistent hash of its content-addressed job
+// key, spilling to ring successors when a node is full and answering 429
+// only when the whole fleet is. Workers join with -join and heartbeat;
+// a worker that stops heartbeating is evicted and its in-flight jobs are
+// requeued on the survivors, resuming from its last checkpoint snapshot
+// when the state dirs are shared. GET /metrics on the coordinator is the
+// fleet-wide rollup.
 package main
 
 import (
@@ -31,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"parsim/internal/cluster"
 	"parsim/internal/server"
 )
 
@@ -54,8 +71,20 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
 		stateDir  = flag.String("state-dir", "", "crash-durability directory (job journal + checkpoints); empty disables")
 		ckptEvery = flag.Int64("checkpoint-every", 0, "snapshot interval in time steps for durable jobs (0 = engine default)")
+		dedup     = flag.Int("dedup", 256, "content-addressed dedup cache entries; identical submissions are served from it (0 disables)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a simulation node")
+		join        = flag.String("join", "", "coordinator address to join as a worker (host:port)")
+		advertise   = flag.String("advertise", "", "address other fleet members reach this node at (default: -addr with a usable host)")
+		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "coordinator: heartbeat interval workers are told to use")
+		evictAfter  = flag.Duration("evict-after", 0, "coordinator: silence after which a worker is evicted (0 = 3x heartbeat)")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *heartbeat, *evictAfter, *dedup, *maxBody, *maxNodes, *maxElems, *drain)
+		return
+	}
 
 	srv, err := server.New(server.Config{
 		CoreBudget:      *cores,
@@ -67,6 +96,7 @@ func main() {
 		MaxDeadline:     *maxDead,
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckptEvery,
+		DedupCache:      *dedup,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parsimd:", err)
@@ -78,17 +108,49 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("parsimd listening on %s (cores=%d queue=%d)", *addr, *cores, *queue)
 
+	// Fleet membership: join the coordinator and heartbeat with live
+	// scheduler gauges until shutdown, then leave gracefully.
+	joinCtx, joinCancel := context.WithCancel(context.Background())
+	joinDone := make(chan struct{})
+	if *join != "" {
+		jn := &cluster.Joiner{
+			Coordinator: *join,
+			Advertise:   advertiseAddr(*advertise, *addr),
+			Cores:       *cores,
+			MaxQueue:    *queue,
+			StateDir:    *stateDir,
+			Gauges: func() cluster.NodeGauges {
+				return cluster.NodeGauges{
+					QueueDepth: srv.QueueDepth(),
+					Running:    srv.RunningJobs(),
+					CoresInUse: srv.CoresInUse(),
+					CoreBudget: srv.CoreBudget(),
+				}
+			},
+			Logf: log.Printf,
+		}
+		go func() {
+			defer close(joinDone)
+			jn.Run(joinCtx)
+		}()
+	} else {
+		close(joinDone)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		// The listener failed before any signal (port in use, etc).
+		joinCancel()
 		fmt.Fprintln(os.Stderr, "parsimd:", err)
 		os.Exit(1)
 	case got := <-sig:
 		log.Printf("parsimd: %v; draining (up to %v)", got, *drain)
 	}
 
+	joinCancel()
+	<-joinDone
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
@@ -97,4 +159,53 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("parsimd: drained cleanly")
+}
+
+// runCoordinator serves the fleet front door until SIGINT/SIGTERM.
+func runCoordinator(addr string, heartbeat, evictAfter time.Duration, cache int, maxBody int64, maxNodes, maxElems int, drain time.Duration) {
+	coord := cluster.NewCoordinator(cluster.Config{
+		HeartbeatEvery: heartbeat,
+		EvictAfter:     evictAfter,
+		CacheEntries:   cache,
+		MaxBodyBytes:   maxBody,
+		MaxNodes:       maxNodes,
+		MaxElems:       maxElems,
+		Logf:           log.Printf,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("parsimd coordinator listening on %s (heartbeat %v)", addr, heartbeat)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "parsimd:", err)
+		os.Exit(1)
+	case got := <-sig:
+		log.Printf("parsimd: %v; shutting down coordinator", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	coord.Close()
+	log.Printf("parsimd: coordinator stopped")
+}
+
+// advertiseAddr resolves the address a worker tells the fleet to reach it
+// at: the explicit -advertise when given, otherwise -addr with a bare or
+// wildcard host rewritten to localhost (the single-host fleet default).
+func advertiseAddr(advertise, listen string) string {
+	if advertise != "" {
+		return advertise
+	}
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return listen
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

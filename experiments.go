@@ -28,6 +28,9 @@ type ExperimentConfig = harness.Config
 // comparing against the paper's reported numbers.
 type Figure = harness.Figure
 
+// Series is one labelled curve of a Figure.
+type Series = harness.Series
+
 var (
 	// ExperimentIDs lists every experiment: fig1..fig5 and t1..t4.
 	ExperimentIDs = harness.IDs

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := NewResultCache(3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d; want 3", c.Len())
+	}
+
+	// Touch "a" so "b" becomes the eviction candidate.
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order ignores Get recency")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted; want it retained", k)
+		}
+	}
+
+	// Overwriting an existing key must not grow the cache.
+	c.Put("a", 10)
+	if c.Len() != 3 {
+		t.Fatalf("Len after overwrite = %d; want 3", c.Len())
+	}
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatalf("overwrite lost: Get(a) = %v; want 10", v)
+	}
+}
+
+func TestResultCacheBounded(t *testing.T) {
+	const cap = 8
+	c := NewResultCache(cap)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+		if c.Len() > cap {
+			t.Fatalf("Len = %d after %d inserts; cap is %d", c.Len(), i+1, cap)
+		}
+	}
+	if c.Len() != cap {
+		t.Fatalf("Len = %d; want %d", c.Len(), cap)
+	}
+	// The survivors are exactly the most recent cap inserts.
+	for i := 100 - cap; i < 100; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recent key k%d evicted", i)
+		}
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := NewResultCache(capacity)
+		c.Put("a", 1)
+		if _, ok := c.Get("a"); ok {
+			t.Fatalf("capacity %d: cache stored an entry; want disabled", capacity)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("capacity %d: Len = %d; want 0", capacity, c.Len())
+		}
+	}
+}
+
+// TestResultCacheConcurrent hammers the cache from many goroutines so
+// the -race build proves the locking. Correctness here is just "bounded
+// and no torn state".
+func TestResultCacheConcurrent(t *testing.T) {
+	c := NewResultCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%64)
+				c.Put(k, i)
+				if v, ok := c.Get(k); ok {
+					if _, isInt := v.(int); !isInt {
+						t.Errorf("torn value for %s: %v", k, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("Len = %d; cap is 32", c.Len())
+	}
+}

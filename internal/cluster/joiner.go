@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Joiner is the worker side of fleet membership: it registers a parsimd
+// node with a coordinator, heartbeats at the interval the coordinator
+// dictates (carrying fresh scheduler gauges each beat), rejoins when the
+// coordinator forgets it — restart or eviction after a stall — and leaves
+// gracefully on shutdown.
+type Joiner struct {
+	// Coordinator is the coordinator's address (host:port or URL).
+	Coordinator string
+	// Advertise is the address other fleet components reach this node at.
+	Advertise string
+	// Cores and MaxQueue advertise static capacity at join time.
+	Cores    int
+	MaxQueue int
+	// StateDir is the node's journal/checkpoint dir; the coordinator uses
+	// it to resume requeued jobs from this node's snapshots after an
+	// eviction. Empty when the node is not durable.
+	StateDir string
+	// Gauges samples the node's live scheduler gauges for each heartbeat.
+	Gauges func() NodeGauges
+	// Client performs coordinator HTTP calls. Default: 5s-timeout client.
+	Client *http.Client
+	// Logf receives membership log lines. Default discards them.
+	Logf func(format string, args ...any)
+}
+
+func (jn *Joiner) client() *http.Client {
+	if jn.Client != nil {
+		return jn.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (jn *Joiner) logf(format string, args ...any) {
+	if jn.Logf != nil {
+		jn.Logf(format, args...)
+	}
+}
+
+func (jn *Joiner) gauges() NodeGauges {
+	if jn.Gauges != nil {
+		return jn.Gauges()
+	}
+	return NodeGauges{}
+}
+
+// Run joins the fleet and heartbeats until ctx is cancelled, then sends a
+// best-effort leave. Join failures retry with backoff — a worker may come
+// up before its coordinator — and a 404 heartbeat (coordinator restarted
+// or evicted us) triggers an immediate rejoin.
+func (jn *Joiner) Run(ctx context.Context) error {
+	backoff := 250 * time.Millisecond
+	for {
+		interval, err := jn.join(ctx)
+		if err != nil {
+			jn.logf("cluster: join %s failed: %v (retrying in %s)", jn.Coordinator, err, backoff)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < 4*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 250 * time.Millisecond
+		jn.logf("cluster: joined %s as %s (heartbeat %s)", jn.Coordinator, jn.Advertise, interval)
+		if rejoin := jn.heartbeatLoop(ctx, interval); !rejoin {
+			jn.leave()
+			return ctx.Err()
+		}
+		jn.logf("cluster: coordinator forgot %s; rejoining", jn.Advertise)
+	}
+}
+
+// join registers the node and returns the heartbeat interval.
+func (jn *Joiner) join(ctx context.Context) (time.Duration, error) {
+	body, err := json.Marshal(joinRequest{
+		Addr:     jn.Advertise,
+		Cores:    jn.Cores,
+		MaxQueue: jn.MaxQueue,
+		StateDir: jn.StateDir,
+		Gauges:   jn.gauges(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL(jn.Coordinator)+"/v1/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := jn.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+	}
+	var jr joinResponse
+	if err := json.Unmarshal(rb, &jr); err != nil {
+		return 0, fmt.Errorf("malformed join response: %v", err)
+	}
+	interval := time.Duration(jr.HeartbeatMS) * time.Millisecond
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	return interval, nil
+}
+
+// heartbeatLoop beats until ctx cancels (returns false) or the
+// coordinator answers 404 (returns true: rejoin).
+func (jn *Joiner) heartbeatLoop(ctx context.Context, interval time.Duration) (rejoin bool) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ticker.C:
+			status, err := jn.beat(ctx)
+			if err != nil {
+				jn.logf("cluster: heartbeat to %s failed: %v", jn.Coordinator, err)
+				continue // transient; the next beat retries
+			}
+			if status == http.StatusNotFound {
+				return true
+			}
+		}
+	}
+}
+
+func (jn *Joiner) beat(ctx context.Context) (int, error) {
+	body, err := json.Marshal(heartbeatRequest{Addr: jn.Advertise, Gauges: jn.gauges()})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL(jn.Coordinator)+"/v1/cluster/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := jn.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// leave tells the coordinator the node is going away; best-effort with
+// its own short deadline because the caller's ctx is already cancelled.
+func (jn *Joiner) leave() {
+	body, err := json.Marshal(heartbeatRequest{Addr: jn.Advertise})
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL(jn.Coordinator)+"/v1/cluster/leave", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := jn.client().Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	jn.logf("cluster: left %s", jn.Coordinator)
+}

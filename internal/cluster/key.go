@@ -1,0 +1,219 @@
+// Package cluster is the fleet layer over parsimd: a coordinator/worker
+// topology where parsimd nodes register over HTTP/JSON, jobs are sharded
+// by a consistent hash ring over a content-addressed job key, identical
+// submissions are deduped against a bounded LRU result cache, and
+// backpressure composes end to end (node-full spills to the next ring
+// successor; the client sees 429 + Retry-After only when the whole fleet
+// is full). Node death is detected by missed heartbeats; an evicted
+// node's in-flight jobs are requeued onto the survivors, resuming from
+// the dead node's last checkpoint snapshot when one is readable.
+//
+// The package deliberately does not import internal/server: the
+// coordinator talks to workers only over their public HTTP API, so any
+// parsimd — in-process in a test, a separate process on one host, or a
+// remote box — is a valid fleet member. internal/server imports this
+// package for the job key and the result cache, which the standalone
+// daemon reuses to dedup identical submissions on a single node.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parsim/internal/circuit"
+	"parsim/internal/engine"
+	"parsim/internal/netlist"
+)
+
+// KeyOptions are the submission options folded into the content-addressed
+// job key: everything that can change the bytes of the run report. Two
+// submissions with equal keys simulate the same circuit the same way and
+// produce identical results, so the second can be served from the first's
+// cached report. Deadlines and watchdog windows are deliberately absent —
+// they bound a run's wall clock without changing its result.
+type KeyOptions struct {
+	Engine         string // canonical engine name (aliases resolved)
+	Workers        int
+	Horizon        int64
+	CostSpin       int64
+	Lint           string
+	Fallback       bool
+	Lanes          int
+	LaneStride     int64
+	ProbeLane      int
+	FaultSim       bool
+	FaultMaxPasses int
+	FaultStatuses  bool
+}
+
+// CircuitKey computes the content-addressed job key: the SHA-256 of a
+// canonical serialization of the circuit plus the option digest. The
+// serialization sorts nodes and elements by name and emits every
+// parameter field in a fixed order, so two netlists that declare the same
+// circuit in different textual orders — the parser assigns IDs by
+// declaration order — hash to the same key.
+func CircuitKey(c *circuit.Circuit, opts KeyOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "parsim-job-key/v1\ncircuit %s\n", c.Name)
+
+	names := make([]string, len(c.Nodes))
+	for i := range c.Nodes {
+		names[i] = c.Nodes[i].Name
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := &c.Nodes[c.ByName[name]]
+		fmt.Fprintf(h, "node %s %d\n", n.Name, n.Width)
+	}
+
+	elems := make([]string, len(c.Elems))
+	for i := range c.Elems {
+		elems[i] = c.Elems[i].Name
+	}
+	sort.Strings(elems)
+	for _, name := range elems {
+		el := &c.Elems[c.ElByName[name]]
+		fmt.Fprintf(h, "elem %s %s delay=%d out=%s in=%s ",
+			circuit.KindName(el.Kind), el.Name, el.Delay,
+			nodeNames(c, el.Out), nodeNames(c, el.In))
+		writeParams(h, &el.Params)
+		io.WriteString(h, "\n")
+	}
+
+	if opts.Workers <= 0 {
+		opts.Workers = 1 // a zero request means "one worker" everywhere downstream
+	}
+	fmt.Fprintf(h, "opts engine=%s workers=%d horizon=%d spin=%d lint=%s fallback=%t lanes=%d stride=%d probe=%d faults=%t fpasses=%d fstat=%t\n",
+		opts.Engine, opts.Workers, opts.Horizon, opts.CostSpin, opts.Lint,
+		opts.Fallback, opts.Lanes, opts.LaneStride, opts.ProbeLane,
+		opts.FaultSim, opts.FaultMaxPasses, opts.FaultStatuses)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// nodeNames joins the names behind a port list; port order is semantic
+// and preserved.
+func nodeNames(c *circuit.Circuit, ids []circuit.NodeID) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = c.Nodes[id].Name
+	}
+	return strings.Join(names, ",")
+}
+
+// writeParams emits every Params field in a fixed order. Unused fields
+// serialize as their zero forms, so the digest never depends on which
+// fields a kind happens to read.
+func writeParams(w io.Writer, p *circuit.Params) {
+	fmt.Fprintf(w, "init=%s period=%d phase=%d duty=%d seed=%d lo=%d shift=%d",
+		p.Init, p.Period, p.Phase, p.Duty, p.Seed, p.Lo, p.Shift)
+	io.WriteString(w, " times=")
+	for i, t := range p.Times {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, strconv.FormatInt(int64(t), 10))
+	}
+	io.WriteString(w, " values=")
+	for i, v := range p.Values {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, v.String())
+	}
+	io.WriteString(w, " mem=")
+	for i, m := range p.Mem {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, strconv.FormatUint(m, 10))
+	}
+}
+
+// Submission mirrors the result-affecting fields of the parsimd
+// submission body (internal/server's jobRequest wire format). The
+// coordinator decodes just enough of a submission to compute its key and
+// route it; the full body is forwarded to the worker verbatim, so fields
+// this mirror omits (deadline_ms, watchdog_ms, watch) still reach the
+// node that runs the job.
+type Submission struct {
+	Netlist        string `json:"netlist"`
+	Engine         string `json:"engine"`
+	Workers        int    `json:"workers,omitempty"`
+	Horizon        int64  `json:"horizon"`
+	Lint           string `json:"lint,omitempty"`
+	Fallback       bool   `json:"fallback,omitempty"`
+	CostSpin       int64  `json:"cost_spin,omitempty"`
+	Watch          []string `json:"watch,omitempty"`
+	Lanes          int    `json:"lanes,omitempty"`
+	LaneStride     int64  `json:"lane_stride,omitempty"`
+	ProbeLane      int    `json:"probe_lane,omitempty"`
+	FaultSim       bool   `json:"fault_sim,omitempty"`
+	FaultMaxPasses int    `json:"fault_max_passes,omitempty"`
+	FaultStatuses  bool   `json:"fault_statuses,omitempty"`
+}
+
+// keyOptions maps the wire fields onto KeyOptions, resolving engine
+// aliases through the registry when the engine is known locally (the
+// worker canonicalizes the same way, so "seq" and "sequential" dedup
+// together); an unknown name is hashed as written and rejected by the
+// worker at admission.
+func (s *Submission) keyOptions() KeyOptions {
+	name := s.Engine
+	if eng, err := engine.Get(name); err == nil {
+		name = eng.Name()
+	}
+	workers := s.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	lint := s.Lint
+	if mode, err := engine.ParseLintMode(lint); err == nil {
+		lint = mode.String()
+	}
+	return KeyOptions{
+		Engine:         name,
+		Workers:        workers,
+		Horizon:        s.Horizon,
+		CostSpin:       s.CostSpin,
+		Lint:           lint,
+		Fallback:       s.Fallback,
+		Lanes:          s.Lanes,
+		LaneStride:     s.LaneStride,
+		ProbeLane:      s.ProbeLane,
+		FaultSim:       s.FaultSim,
+		FaultMaxPasses: s.FaultMaxPasses,
+		FaultStatuses:  s.FaultStatuses,
+	}
+}
+
+// KeyForSubmission computes the job key for an already-parsed circuit
+// plus the wire-level submission options — the entry point the daemon
+// uses, since admission control has parsed the netlist anyway.
+func KeyForSubmission(c *circuit.Circuit, s *Submission) string {
+	return CircuitKey(c, s.keyOptions())
+}
+
+// SubmissionKey decodes a raw submission body, parses its netlist under
+// the given limits and returns the content-addressed job key plus the
+// decoded mirror. The error is suitable for a 400 response: a body the
+// coordinator cannot key is one no worker could admit either.
+func SubmissionKey(body []byte, lim netlist.Limits) (string, *Submission, error) {
+	var sub Submission
+	if err := json.Unmarshal(body, &sub); err != nil {
+		return "", nil, fmt.Errorf("malformed JSON body: %v", err)
+	}
+	circ, err := netlist.ReadLimited(strings.NewReader(sub.Netlist), lim)
+	if err != nil {
+		return "", nil, fmt.Errorf("netlist: %w", err)
+	}
+	return CircuitKey(circ, sub.keyOptions()), &sub, nil
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/netlist"
+
+	_ "parsim" // registers the engines so key canonicalization resolves aliases
+)
+
+// Two textual spellings of the same circuit: node and element lines are
+// shuffled, whitespace differs, and the circuit arrives with different
+// internal node IDs. The content-addressed key must not care.
+const keyNetlistA = `circuit ring
+node clk 1
+node a 1
+node b 1
+node q 1
+elem clock osc delay=1 out=clk period=8
+elem not n1 delay=1 out=a in=clk
+elem not n2 delay=1 out=b in=a
+elem not n3 delay=1 out=q in=b
+`
+
+const keyNetlistB = `circuit ring
+node q 1
+node b 1
+node clk 1
+node a 1
+elem not n3 delay=1 out=q in=b
+elem not n2 delay=1 out=b in=a
+elem clock osc delay=1 out=clk period=8
+elem not n1 delay=1 out=a in=clk
+`
+
+func parseNetlist(t *testing.T, text string) *circuit.Circuit {
+	t.Helper()
+	c, err := netlist.Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCircuitKeyOrderIndependent(t *testing.T) {
+	opts := KeyOptions{Engine: "event-driven", Workers: 4, Horizon: 100}
+	ka := CircuitKey(parseNetlist(t, keyNetlistA), opts)
+	kb := CircuitKey(parseNetlist(t, keyNetlistB), opts)
+	if ka != kb {
+		t.Fatalf("same circuit, different textual order: keys differ\n a=%s\n b=%s", ka, kb)
+	}
+	if len(ka) != 64 {
+		t.Fatalf("key %q is not a hex SHA-256 digest", ka)
+	}
+}
+
+func TestCircuitKeySensitivity(t *testing.T) {
+	base := parseNetlist(t, keyNetlistA)
+	opts := KeyOptions{Engine: "event-driven", Workers: 4, Horizon: 100}
+	ref := CircuitKey(base, opts)
+
+	// Any result-affecting change must change the key.
+	cases := []struct {
+		name string
+		key  string
+	}{
+		{"different engine", CircuitKey(base, KeyOptions{Engine: "sequential", Workers: 4, Horizon: 100})},
+		{"different horizon", CircuitKey(base, KeyOptions{Engine: "event-driven", Workers: 4, Horizon: 200})},
+		{"fault sim on", CircuitKey(base, KeyOptions{Engine: "event-driven", Workers: 4, Horizon: 100, FaultSim: true})},
+		{"different circuit", CircuitKey(parseNetlist(t, strings.Replace(keyNetlistA, "period=8", "period=6", 1)), opts)},
+		{"renamed element", CircuitKey(parseNetlist(t, strings.Replace(keyNetlistA, "not n3", "not n9", 1)), opts)},
+	}
+	for _, tc := range cases {
+		if tc.key == ref {
+			t.Errorf("%s: key unchanged", tc.name)
+		}
+	}
+
+	// Workers changes the parallel schedule, not the result inputs the
+	// daemon exposes, but it is part of the submission contract — 0 and 1
+	// canonicalize together, other counts differ.
+	if CircuitKey(base, KeyOptions{Engine: "event-driven", Workers: 0, Horizon: 100}) !=
+		CircuitKey(base, KeyOptions{Engine: "event-driven", Workers: 1, Horizon: 100}) {
+		t.Error("workers 0 and 1 should canonicalize to the same key")
+	}
+}
+
+func TestKeyForSubmissionCanonicalizesAliases(t *testing.T) {
+	c := parseNetlist(t, keyNetlistA)
+	aliased := KeyForSubmission(c, &Submission{Engine: "seq", Horizon: 50})
+	canonical := KeyForSubmission(c, &Submission{Engine: "sequential", Horizon: 50})
+	if aliased != canonical {
+		t.Fatalf("alias seq and canonical sequential hash differently:\n %s\n %s", aliased, canonical)
+	}
+	off := KeyForSubmission(c, &Submission{Engine: "event", Horizon: 50, Lint: "off"})
+	empty := KeyForSubmission(c, &Submission{Engine: "event-driven", Horizon: 50})
+	if off != empty {
+		t.Fatalf("lint \"off\" and unset hash differently:\n %s\n %s", off, empty)
+	}
+}
+
+func TestSubmissionKeyLifecycle(t *testing.T) {
+	lim := netlist.Limits{MaxBytes: 1 << 20, MaxNodes: 1000, MaxElems: 1000}
+	keyA, subA, err := SubmissionKey([]byte(`{"netlist":`+quoteJSON(keyNetlistA)+`,"engine":"event","horizon":100}`), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, _, err := SubmissionKey([]byte(`{"netlist":`+quoteJSON(keyNetlistB)+`,"engine":"event-driven","horizon":100}`), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyA != keyB {
+		t.Fatalf("reordered netlist + aliased engine should dedup:\n %s\n %s", keyA, keyB)
+	}
+	if subA.Engine != "event" || subA.Horizon != 100 {
+		t.Fatalf("parsed submission mangled: %+v", subA)
+	}
+	if _, _, err := SubmissionKey([]byte(`{"netlist": 42}`), lim); err == nil {
+		t.Fatal("malformed body accepted")
+	}
+}
+
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '\n':
+			b.WriteString(`\n`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// fleetMetrics is the coordinator's counter surface, aggregated across
+// the fleet and rendered in Prometheus text exposition format alongside
+// the per-node gauges from the latest heartbeats. One mutex guards all
+// counters; every increment is a single short critical section.
+type fleetMetrics struct {
+	mu            sync.Mutex
+	submitted     int64
+	rejected      map[int]int64    // HTTP status -> refused submissions
+	routed        map[string]int64 // node addr -> jobs dispatched to it
+	dedupCache    int64            // submissions served from the result cache
+	dedupInflight int64            // submissions coalesced onto a live job
+	spills        int64            // dispatches that skipped >=1 full node
+	spilledNodes  int64            // total full/unreachable nodes skipped
+	fleetFull     int64            // 429s because every node refused
+	evictions     int64            // nodes evicted on missed heartbeats
+	requeues      int64            // jobs re-dispatched after an eviction
+	resumed       int64            // requeues that carried a snapshot path
+	rebalances    int64            // ring membership changes (join/leave/evict)
+	terminal      map[string]int64 // terminal state -> count
+}
+
+func newFleetMetrics() *fleetMetrics {
+	return &fleetMetrics{
+		rejected: make(map[int]int64),
+		routed:   make(map[string]int64),
+		terminal: make(map[string]int64),
+	}
+}
+
+func (m *fleetMetrics) onSubmit() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onReject(status int) {
+	m.mu.Lock()
+	m.rejected[status]++
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onRoute(node string, skipped int) {
+	m.mu.Lock()
+	m.routed[node]++
+	if skipped > 0 {
+		m.spills++
+		m.spilledNodes += int64(skipped)
+	}
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onDedup(fromCache bool) {
+	m.mu.Lock()
+	if fromCache {
+		m.dedupCache++
+	} else {
+		m.dedupInflight++
+	}
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onFleetFull() {
+	m.mu.Lock()
+	m.fleetFull++
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onEvict() {
+	m.mu.Lock()
+	m.evictions++
+	m.rebalances++
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onMembership() {
+	m.mu.Lock()
+	m.rebalances++
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onRequeue(withSnapshot bool) {
+	m.mu.Lock()
+	m.requeues++
+	if withSnapshot {
+		m.resumed++
+	}
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) onTerminal(state string) {
+	m.mu.Lock()
+	m.terminal[state]++
+	m.mu.Unlock()
+}
+
+// nodeRow is one member's gauge snapshot for the metrics page, taken from
+// its latest heartbeat.
+type nodeRow struct {
+	addr       string
+	beatAgeSec float64
+	gauges     NodeGauges
+}
+
+// render writes the fleet metrics page. The caller passes the current
+// member gauge snapshot; the counters come from m itself.
+func (m *fleetMetrics) render(w io.Writer, nodes []nodeRow) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_nodes Current fleet membership.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_nodes gauge\n")
+	fmt.Fprintf(w, "parsimd_fleet_nodes %d\n", len(nodes))
+
+	queueDepth, running := 0, 0
+	for _, n := range nodes {
+		queueDepth += n.gauges.QueueDepth
+		running += n.gauges.Running
+	}
+	fmt.Fprintf(w, "# HELP parsimd_fleet_queue_depth Queued jobs, per node and fleet-wide.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_queue_depth gauge\n")
+	fmt.Fprintf(w, "parsimd_fleet_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP parsimd_fleet_jobs_running Running jobs, per node and fleet-wide.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_jobs_running gauge\n")
+	fmt.Fprintf(w, "parsimd_fleet_jobs_running %d\n", running)
+	for _, n := range nodes {
+		fmt.Fprintf(w, "parsimd_fleet_node_queue_depth{node=%q} %d\n", n.addr, n.gauges.QueueDepth)
+		fmt.Fprintf(w, "parsimd_fleet_node_jobs_running{node=%q} %d\n", n.addr, n.gauges.Running)
+		fmt.Fprintf(w, "parsimd_fleet_node_cores_in_use{node=%q} %d\n", n.addr, n.gauges.CoresInUse)
+		fmt.Fprintf(w, "parsimd_fleet_node_core_budget{node=%q} %d\n", n.addr, n.gauges.CoreBudget)
+		fmt.Fprintf(w, "parsimd_fleet_node_heartbeat_age_seconds{node=%q} %.3f\n", n.addr, n.beatAgeSec)
+	}
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_jobs_submitted_total Submissions accepted by the coordinator.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_jobs_submitted_total counter\n")
+	fmt.Fprintf(w, "parsimd_fleet_jobs_submitted_total %d\n", m.submitted)
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_jobs_rejected_total Refused submissions by status.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_jobs_rejected_total counter\n")
+	for _, status := range sortedIntKeys(m.rejected) {
+		fmt.Fprintf(w, "parsimd_fleet_jobs_rejected_total{status=\"%d\"} %d\n", status, m.rejected[status])
+	}
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_jobs_routed_total Jobs dispatched, by node.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_jobs_routed_total counter\n")
+	for _, addr := range sortedStrKeys(m.routed) {
+		fmt.Fprintf(w, "parsimd_fleet_jobs_routed_total{node=%q} %d\n", addr, m.routed[addr])
+	}
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_dedup_hits_total Submissions served without a new simulation.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_dedup_hits_total counter\n")
+	fmt.Fprintf(w, "parsimd_fleet_dedup_hits_total{source=\"cache\"} %d\n", m.dedupCache)
+	fmt.Fprintf(w, "parsimd_fleet_dedup_hits_total{source=\"inflight\"} %d\n", m.dedupInflight)
+	if m.submitted > 0 {
+		ratio := float64(m.dedupCache+m.dedupInflight) / float64(m.submitted)
+		fmt.Fprintf(w, "# HELP parsimd_fleet_dedup_hit_ratio Dedup hits / accepted submissions.\n")
+		fmt.Fprintf(w, "# TYPE parsimd_fleet_dedup_hit_ratio gauge\n")
+		fmt.Fprintf(w, "parsimd_fleet_dedup_hit_ratio %.4f\n", ratio)
+	}
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_spills_total Dispatches that spilled past a full or unreachable node.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_spills_total counter\n")
+	fmt.Fprintf(w, "parsimd_fleet_spills_total %d\n", m.spills)
+	fmt.Fprintf(w, "parsimd_fleet_spilled_nodes_total %d\n", m.spilledNodes)
+	fmt.Fprintf(w, "# HELP parsimd_fleet_full_total Submissions answered 429 because every node refused.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_full_total counter\n")
+	fmt.Fprintf(w, "parsimd_fleet_full_total %d\n", m.fleetFull)
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_evictions_total Nodes evicted on missed heartbeats.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_evictions_total counter\n")
+	fmt.Fprintf(w, "parsimd_fleet_evictions_total %d\n", m.evictions)
+	fmt.Fprintf(w, "# HELP parsimd_fleet_requeues_total In-flight jobs re-dispatched after an eviction.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_requeues_total counter\n")
+	fmt.Fprintf(w, "parsimd_fleet_requeues_total %d\n", m.requeues)
+	fmt.Fprintf(w, "parsimd_fleet_requeues_resumed_total %d\n", m.resumed)
+	fmt.Fprintf(w, "# HELP parsimd_fleet_rebalances_total Ring membership changes (joins, leaves, evictions).\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_rebalances_total counter\n")
+	fmt.Fprintf(w, "parsimd_fleet_rebalances_total %d\n", m.rebalances)
+
+	fmt.Fprintf(w, "# HELP parsimd_fleet_jobs_total Jobs by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE parsimd_fleet_jobs_total counter\n")
+	for _, state := range sortedStrKeys(m.terminal) {
+		fmt.Fprintf(w, "parsimd_fleet_jobs_total{state=%q} %d\n", state, m.terminal[state])
+	}
+}
+
+func sortNodeRows(rows []nodeRow) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].addr < rows[j].addr })
+}
+
+func sortedIntKeys(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedStrKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

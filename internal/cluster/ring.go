@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the number of virtual nodes each member contributes to
+// the ring. 64 keeps per-node load within ~15% of even across fleet sizes
+// up to 16 while keeping join/leave rebuilds trivially cheap.
+const DefaultVNodes = 64
+
+// Ring is a consistent hash ring with virtual nodes. Keys (content-
+// addressed job keys) map to the member owning the first vnode at or
+// after the key's position; when that member is full the caller walks
+// Successors for spill targets. Because every member contributes the
+// same deterministic vnode set, adding or removing a member moves only
+// the keys that land on that member's vnodes — the minimal-movement
+// property the unit tests pin down.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // sorted by hash
+	owners map[string]bool
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// NewRing returns an empty ring; vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, owners: make(map[string]bool)}
+}
+
+// hash64 maps an arbitrary string onto the ring via SHA-256; the first
+// eight digest bytes give a uniform 64-bit position.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member (idempotent) and returns whether the ring changed.
+func (r *Ring) Add(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.owners[member] {
+		return false
+	}
+	r.owners[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:  hash64(fmt.Sprintf("%s#%d", member, i)),
+			owner: member,
+		})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return true
+}
+
+// Remove deletes a member's vnodes and returns whether it was present.
+func (r *Ring) Remove(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.owners[member] {
+		return false
+	}
+	delete(r.owners, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.owner != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Members returns the current member set in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.owners))
+	for m := range r.owners {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.owners)
+}
+
+// Lookup returns the member owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	s := r.Successors(key, 1)
+	if len(s) == 0 {
+		return ""
+	}
+	return s[0]
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner: the routing preference list. The first entry is the
+// owner; the rest are spill targets in the order backpressure walks them.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.owners) {
+		n = len(r.owners)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, p.owner)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// ringKeys returns n deterministic synthetic job keys. Real job keys are
+// hex SHA-256 digests, so hashing the index through hash64 first gives
+// the same uniformity without pulling in the key builder.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x", hash64(fmt.Sprintf("job-key-%d", i)))
+	}
+	return keys
+}
+
+// TestRingBalance checks the headline property from the issue: with the
+// default 64 vnodes per member, key ownership across every fleet size
+// from 3 to 16 nodes stays within 15% relative spread of a perfectly
+// even split.
+func TestRingBalance(t *testing.T) {
+	const nKeys = 20000
+	keys := ringKeys(nKeys)
+	for nodes := 3; nodes <= 16; nodes++ {
+		r := NewRing(DefaultVNodes)
+		for i := 0; i < nodes; i++ {
+			r.Add(fmt.Sprintf("10.0.0.%d:8080", i+1))
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Lookup(k)]++
+		}
+		if len(counts) != nodes {
+			t.Fatalf("%d nodes: only %d received keys", nodes, len(counts))
+		}
+		mean := float64(nKeys) / float64(nodes)
+		var sumSq float64
+		for _, c := range counts {
+			d := float64(c) - mean
+			sumSq += d * d
+		}
+		relStddev := math.Sqrt(sumSq/float64(nodes)) / mean
+		if relStddev > 0.15 {
+			t.Errorf("%d nodes: relative stddev %.3f > 0.15 (counts %v)", nodes, relStddev, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement verifies consistent hashing's reason to exist:
+// adding or removing one member only moves the keys that land on that
+// member, never reshuffles ownership between surviving members.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(5000)
+	r := NewRing(DefaultVNodes)
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+
+	// Join: keys either stay put or move to the new member.
+	r.Add("e:1")
+	moved := 0
+	for _, k := range keys {
+		owner := r.Lookup(k)
+		if owner != before[k] {
+			if owner != "e:1" {
+				t.Fatalf("join moved key %s between survivors: %s -> %s", k, before[k], owner)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys onto the new member")
+	}
+	// The new member should take roughly its fair share, 1/5th.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.35 {
+		t.Errorf("join moved %.0f%% of keys; want roughly 20%%", frac*100)
+	}
+
+	// Leave: only the departed member's keys move; everything else is
+	// exactly where it was before the join.
+	r.Remove("e:1")
+	for _, k := range keys {
+		if owner := r.Lookup(k); owner != before[k] {
+			t.Fatalf("leave did not restore key %s: %s -> %s", k, before[k], owner)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := []string{"a:1", "b:1", "c:1"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%s, 5) = %v; want all 3 distinct members", k, succ)
+		}
+		seen := make(map[string]bool)
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%s, 5) repeats %s: %v", k, s, succ)
+			}
+			seen[s] = true
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("Successors(%s)[0] = %s; Lookup = %s", k, succ[0], r.Lookup(k))
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0) // 0 falls back to DefaultVNodes
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("Lookup on empty ring = %q; want empty", got)
+	}
+	if succ := r.Successors("anything", 3); len(succ) != 0 {
+		t.Fatalf("Successors on empty ring = %v; want none", succ)
+	}
+	if !r.Add("a:1") {
+		t.Fatal("first Add returned false")
+	}
+	if r.Add("a:1") {
+		t.Fatal("duplicate Add returned true")
+	}
+	if got := r.Lookup("anything"); got != "a:1" {
+		t.Fatalf("single-member Lookup = %q; want a:1", got)
+	}
+	if !r.Remove("a:1") {
+		t.Fatal("Remove of member returned false")
+	}
+	if r.Remove("a:1") {
+		t.Fatal("Remove of absent member returned true")
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size after removal = %d; want 0", r.Size())
+	}
+}

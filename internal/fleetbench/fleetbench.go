@@ -1,0 +1,453 @@
+// Package fleetbench is the d1 harness experiment: job throughput of a
+// parsimd fleet as nodes are added, plus the latency of a dedup cache
+// hit against re-simulating the same submission.
+//
+// Like the paper experiments in internal/harness, d1 has two modes. In
+// model mode (the default behind `make bench-fleet`) the throughput
+// curve comes from a deterministic discrete-event model of the fleet —
+// jobs are routed through the REAL consistent-hash ring with the real
+// spill-on-full and park-when-fleet-full policies, and each node serves
+// its queue serially — so the curve reproduces the scheduling behaviour
+// of an n-node fleet on any host, including single-core CI runners. In
+// real mode the bench boots an actual in-process fleet (coordinator +
+// worker servers over loopback HTTP) and measures wall clock; on a host
+// with fewer cores than nodes the CPU-bound jobs serialise and the curve
+// flattens, which the notes call out.
+//
+// The dedup comparison is always a real measurement: a fresh CPU-bound
+// submission is timed end to end against resubmitting the identical body
+// to a live fleet, which answers from the coordinator's result cache.
+//
+// This package sits outside internal/harness on purpose: it drives
+// internal/server, which imports the parsim facade, which imports
+// harness — so a harness experiment cannot boot servers without an
+// import cycle. cmd/figures special-cases the d1 id instead.
+package fleetbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"parsim"
+	"parsim/internal/cluster"
+	"parsim/internal/server"
+)
+
+// Options parameterise the d1 experiment.
+type Options struct {
+	// Real measures an actual in-process fleet instead of the
+	// discrete-event model.
+	Real bool
+	// Quick shrinks job counts and service times for a fast pass.
+	Quick bool
+	// MaxNodes is the largest fleet size (default 3).
+	MaxNodes int
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Run regenerates experiment d1.
+func Run(opts Options) (*parsim.Figure, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 3
+	}
+	jobs := 60
+	if opts.Quick {
+		jobs = 24
+	}
+
+	fig := &parsim.Figure{
+		ID:     "d1",
+		Title:  "Fleet job throughput vs nodes, and dedup hit latency",
+		XLabel: "nodes",
+		YLabel: "speedup vs 1 node",
+	}
+
+	var speedups []float64
+	var err error
+	if opts.Real {
+		speedups, err = realThroughput(&opts, jobs)
+	} else {
+		speedups = modelThroughput(&opts, jobs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(speedups))
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	mode := "model"
+	if opts.Real {
+		mode = "real"
+	}
+	fig.Series = append(fig.Series, parsim.Series{
+		Name: fmt.Sprintf("throughput speedup (%s, %d jobs)", mode, jobs),
+		X:    xs,
+		Y:    speedups,
+	})
+	last := speedups[len(speedups)-1]
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"%d-node fleet: %.2fx job throughput vs 1 node (target >= 2.2x)",
+		opts.MaxNodes, last))
+	if opts.Real && runtime.NumCPU() < opts.MaxNodes {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"real mode on %d host core(s): CPU-bound jobs serialise below %d nodes; model mode shows the scheduling-limited curve",
+			runtime.NumCPU(), opts.MaxNodes))
+	}
+
+	freshMS, hitMS, err := dedupLatency(&opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, parsim.Series{
+		Name: "dedup latency ms (x=1 fresh run, x=2 cache hit)",
+		X:    []float64{1, 2},
+		Y:    []float64{freshMS, hitMS},
+	})
+	ratio := freshMS / hitMS
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"dedup hit %.0fx faster than re-simulation (fresh %.1fms, hit %.2fms; target >= 10x)",
+		ratio, freshMS, hitMS))
+	return fig, nil
+}
+
+// modelThroughput runs the discrete-event fleet model for 1..MaxNodes
+// nodes and returns the speedup of each size against one node. Routing
+// is the coordinator's real policy over the real ring: walk the key's
+// successors, admit at the first node with queue room, park and retry at
+// the next completion when the whole fleet is full.
+func modelThroughput(opts *Options, jobs int) []float64 {
+	const (
+		service  = 1.0 // one simulated time unit per job
+		admitCap = 4   // 1 running + 3 queued, the worker admission window
+	)
+	makespans := make([]float64, 0, opts.MaxNodes)
+	for n := 1; n <= opts.MaxNodes; n++ {
+		ring := cluster.NewRing(cluster.DefaultVNodes)
+		for i := 0; i < n; i++ {
+			ring.Add(fmt.Sprintf("node-%d", i))
+		}
+		// Per-node FIFO backlog, served one job at a time.
+		type nodeState struct {
+			backlog int
+			free    float64 // time the node finishes everything assigned
+		}
+		nodes := make(map[string]*nodeState)
+		for _, m := range ring.Members() {
+			nodes[m] = &nodeState{}
+		}
+		// Completion events, earliest first.
+		var completions []struct {
+			at   float64
+			node string
+		}
+		clock := 0.0
+		admit := func(addr string) {
+			ns := nodes[addr]
+			start := clock
+			if ns.free > start {
+				start = ns.free
+			}
+			ns.free = start + service
+			ns.backlog++
+			completions = append(completions, struct {
+				at   float64
+				node string
+			}{ns.free, addr})
+			sort.Slice(completions, func(i, j int) bool { return completions[i].at < completions[j].at })
+		}
+		for j := 0; j < jobs; j++ {
+			key := fmt.Sprintf("model-job-%d", j)
+			for {
+				routed := false
+				for _, addr := range ring.Successors(key, n) {
+					if nodes[addr].backlog < admitCap {
+						admit(addr)
+						routed = true
+						break
+					}
+				}
+				if routed {
+					break
+				}
+				// Fleet full: park until the next completion frees a slot.
+				next := completions[0]
+				completions = completions[1:]
+				clock = next.at
+				nodes[next.node].backlog--
+			}
+		}
+		makespan := 0.0
+		for _, ns := range nodes {
+			if ns.free > makespan {
+				makespan = ns.free
+			}
+		}
+		makespans = append(makespans, makespan)
+		opts.logf("d1 model: %d node(s), %d jobs -> makespan %.1f", n, jobs, makespan)
+	}
+	speedups := make([]float64, len(makespans))
+	for i, m := range makespans {
+		speedups[i] = makespans[0] / m
+	}
+	return speedups
+}
+
+// benchFleet is a live in-process fleet for the real-mode and dedup
+// measurements.
+type benchFleet struct {
+	coord   *cluster.Coordinator
+	coordTS *httptest.Server
+	workers []*server.Server
+	worker  []*httptest.Server
+	cancel  context.CancelFunc
+	joined  []chan struct{}
+	root    string
+}
+
+func startFleet(n, coreBudget, maxQueue int) (*benchFleet, error) {
+	f := &benchFleet{}
+	f.coord = cluster.NewCoordinator(cluster.Config{
+		HeartbeatEvery: 100 * time.Millisecond,
+		EvictAfter:     5 * time.Second, // a bench saturates the CPU; keep the failure detector quiet
+		CacheEntries:   64,
+	})
+	f.coordTS = httptest.NewServer(f.coord.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	root, err := os.MkdirTemp("", "fleetbench-*")
+	if err != nil {
+		f.stop()
+		return nil, err
+	}
+	f.root = root
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{
+			CoreBudget: coreBudget,
+			MaxQueue:   maxQueue,
+			StateDir:   filepath.Join(root, fmt.Sprintf("node%d", i)),
+		})
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		f.workers = append(f.workers, srv)
+		f.worker = append(f.worker, ts)
+		jn := &cluster.Joiner{
+			Coordinator: f.coordTS.URL,
+			Advertise:   ts.Listener.Addr().String(),
+			Cores:       coreBudget,
+			MaxQueue:    maxQueue,
+			Gauges: func() cluster.NodeGauges {
+				return cluster.NodeGauges{
+					QueueDepth: srv.QueueDepth(),
+					Running:    srv.RunningJobs(),
+					CoresInUse: srv.CoresInUse(),
+					CoreBudget: srv.CoreBudget(),
+				}
+			},
+		}
+		done := make(chan struct{})
+		f.joined = append(f.joined, done)
+		go func() {
+			defer close(done)
+			jn.Run(ctx)
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(f.coord.Members()) < n {
+		if time.Now().After(deadline) {
+			f.stop()
+			return nil, fmt.Errorf("fleetbench: only %d of %d nodes joined", len(f.coord.Members()), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return f, nil
+}
+
+func (f *benchFleet) stop() {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	for _, done := range f.joined {
+		<-done
+	}
+	f.coord.Close()
+	f.coordTS.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, srv := range f.workers {
+		f.worker[i].Close()
+		srv.Drain(ctx)
+	}
+	if f.root != "" {
+		os.RemoveAll(f.root)
+	}
+}
+
+const benchNetlist = `circuit ring
+node clk 1
+node a 1
+node b 1
+node q 1
+elem clock osc delay=1 out=clk period=8
+elem not n1 delay=1 out=a in=clk
+elem not n2 delay=1 out=b in=a
+elem not n3 delay=1 out=q in=b
+`
+
+// submitAwait posts one job body and polls it to a terminal state,
+// retrying 429s — the fleet-full backpressure contract.
+func submitAwait(base string, body map[string]any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var id string
+	for {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		var view map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fleetbench: submit status %d: %v", resp.StatusCode, view)
+		}
+		id, _ = view["id"].(string)
+		if st, _ := view["state"].(string); st == "done" {
+			return nil // dedup hit answered terminally
+		}
+		break
+	}
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var view map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch view["state"] {
+		case "done":
+			return nil
+		case "failed", "cancelled":
+			return fmt.Errorf("fleetbench: job %s %v: %v", id, view["state"], view["error"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// realThroughput measures wall-clock job throughput of live fleets of
+// 1..MaxNodes single-core nodes and returns speedups vs one node.
+func realThroughput(opts *Options, jobs int) ([]float64, error) {
+	spin := int64(300)
+	horizon := int64(25000)
+	if opts.Quick {
+		horizon = 12000
+	}
+	elapsed := make([]float64, 0, opts.MaxNodes)
+	for n := 1; n <= opts.MaxNodes; n++ {
+		f, err := startFleet(n, 1, 4)
+		if err != nil {
+			return nil, err
+		}
+		// Closed loop: keep every node's admission window full.
+		sem := make(chan struct{}, 3*n)
+		errs := make(chan error, jobs)
+		start := time.Now()
+		for j := 0; j < jobs; j++ {
+			sem <- struct{}{}
+			go func(j int) {
+				defer func() { <-sem }()
+				errs <- submitAwait(f.coordTS.URL, map[string]any{
+					"netlist":   benchNetlist,
+					"engine":    "sequential",
+					"workers":   1,
+					"horizon":   horizon + int64(j), // distinct: no dedup
+					"cost_spin": spin,
+				})
+			}(j)
+		}
+		for j := 0; j < jobs; j++ {
+			if err := <-errs; err != nil {
+				f.stop()
+				return nil, err
+			}
+		}
+		wall := time.Since(start).Seconds()
+		f.stop()
+		elapsed = append(elapsed, wall)
+		opts.logf("d1 real: %d node(s), %d jobs -> %.2fs (%.1f jobs/s)", n, jobs, wall, float64(jobs)/wall)
+	}
+	speedups := make([]float64, len(elapsed))
+	for i, e := range elapsed {
+		speedups[i] = elapsed[0] / e
+	}
+	return speedups, nil
+}
+
+// dedupLatency times one fresh CPU-bound submission against resubmitting
+// the identical body, which the coordinator answers from its result
+// cache without touching a worker.
+func dedupLatency(opts *Options) (freshMS, hitMS float64, err error) {
+	f, err := startFleet(1, 1, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.stop()
+	spin, horizon := int64(2000), int64(200000)
+	if opts.Quick {
+		spin, horizon = 1000, 100000
+	}
+	body := map[string]any{
+		"netlist":   benchNetlist,
+		"engine":    "sequential",
+		"workers":   1,
+		"horizon":   horizon,
+		"cost_spin": spin,
+	}
+	start := time.Now()
+	if err := submitAwait(f.coordTS.URL, body); err != nil {
+		return 0, 0, err
+	}
+	freshMS = float64(time.Since(start).Microseconds()) / 1e3
+	start = time.Now()
+	if err := submitAwait(f.coordTS.URL, body); err != nil {
+		return 0, 0, err
+	}
+	hitMS = float64(time.Since(start).Microseconds()) / 1e3
+	if hitMS <= 0 {
+		hitMS = 0.001
+	}
+	opts.logf("d1 dedup: fresh %.1fms, cache hit %.2fms (%.0fx)", freshMS, hitMS, freshMS/hitMS)
+	return freshMS, hitMS, nil
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricsBody fetches /metrics as text.
+func (ts *testServer) metricsBody(t *testing.T) string {
+	t.Helper()
+	resp, err := http.Get(ts.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.String()
+}
+
+// TestDedupCacheHit is the satellite bug fix from the issue: a
+// byte-identical back-to-back submission must be served from the result
+// cache instead of re-simulated.
+func TestDedupCacheHit(t *testing.T) {
+	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 8, DedupCache: 16})
+
+	var first jobView
+	if resp := ts.submit(t, jobRequest{Netlist: testNetlist, Engine: "sequential", Horizon: 64}, &first); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+	v1 := ts.await(t, first.ID, 10*time.Second)
+	if v1.State != jobDone {
+		t.Fatalf("first job: state %s (error %q)", v1.State, v1.Error)
+	}
+
+	var second jobView
+	if resp := ts.submit(t, jobRequest{Netlist: testNetlist, Engine: "sequential", Horizon: 64}, &second); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", resp.StatusCode)
+	}
+	if second.ID == first.ID {
+		t.Fatal("dedup reused the job id; each submission keeps its own record")
+	}
+	v2 := ts.await(t, second.ID, 10*time.Second)
+	if v2.State != jobDone {
+		t.Fatalf("deduped job: state %s (error %q)", v2.State, v2.Error)
+	}
+	if v2.Result == nil || v1.Result == nil {
+		t.Fatal("missing result on a done job")
+	}
+	if v2.Result.Stats.Evals != v1.Result.Stats.Evals {
+		t.Fatalf("deduped result diverged: %d evals vs %d", v2.Result.Stats.Evals, v1.Result.Stats.Evals)
+	}
+
+	body := ts.metricsBody(t)
+	if !strings.Contains(body, "parsimd_dedup_hits_total 1") {
+		t.Fatalf("metrics missing parsimd_dedup_hits_total 1\n%s", body)
+	}
+	// Both submissions count as submitted; only one simulated.
+	if !strings.Contains(body, "parsimd_jobs_submitted_total 2") {
+		t.Errorf("metrics missing parsimd_jobs_submitted_total 2")
+	}
+	// The engine counters prove no second simulation happened: evals stay
+	// at exactly one run's worth even though two jobs finished done.
+	evalsLine := fmt.Sprintf(`parsimd_engine_evals_total{engine="sequential"} %d`, v1.Result.Stats.Evals)
+	if !strings.Contains(body, evalsLine) {
+		t.Errorf("deduped submission re-ran: want %q in metrics\n%s", evalsLine, body)
+	}
+	if !strings.Contains(body, `parsimd_jobs_total{state="done"} 2`) {
+		t.Errorf("both jobs should finish done")
+	}
+}
+
+// TestDedupInflightCoalesce submits an identical job while the first is
+// still running: the second must coalesce onto the in-flight run and
+// finish with its result, not start a second simulation.
+func TestDedupInflightCoalesce(t *testing.T) {
+	started := make(chan struct{}, 4)
+	gate := testBlock.reset(started)
+	ts := newTestServer(t, Config{CoreBudget: 4, MaxQueue: 8, DedupCache: 16})
+
+	req := jobRequest{Netlist: testNetlist, Engine: "test-block", Horizon: 64}
+	var primary jobView
+	if resp := ts.submit(t, req, &primary); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("primary submit: status %d", resp.StatusCode)
+	}
+	<-started // primary is now running and holds the in-flight slot
+
+	var waiter jobView
+	if resp := ts.submit(t, req, &waiter); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("waiter submit: status %d", resp.StatusCode)
+	}
+	// The waiter must not dispatch a second run of the engine.
+	select {
+	case <-started:
+		t.Fatal("identical in-flight submission started its own run")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(gate)
+	pv := ts.await(t, primary.ID, 10*time.Second)
+	wv := ts.await(t, waiter.ID, 10*time.Second)
+	if pv.State != jobDone || wv.State != jobDone {
+		t.Fatalf("states: primary %s, waiter %s", pv.State, wv.State)
+	}
+	if wv.Result == nil {
+		t.Fatal("coalesced waiter has no result")
+	}
+	if !strings.Contains(ts.metricsBody(t), "parsimd_dedup_hits_total 1") {
+		t.Fatal("in-flight coalesce did not count as a dedup hit")
+	}
+}
+
+// TestDedupOffByDefault: with no DedupCache configured, identical
+// submissions each simulate — the pre-existing contract tests rely on
+// that, and so do benchmarks that replay one circuit.
+func TestDedupOffByDefault(t *testing.T) {
+	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 8})
+	req := jobRequest{Netlist: testNetlist, Engine: "sequential", Horizon: 64}
+	for i := 0; i < 2; i++ {
+		var sub jobView
+		ts.submit(t, req, &sub)
+		if v := ts.await(t, sub.ID, 10*time.Second); v.State != jobDone {
+			t.Fatalf("submission %d: state %s", i, v.State)
+		}
+	}
+	body := ts.metricsBody(t)
+	if !strings.Contains(body, "parsimd_dedup_hits_total 0") {
+		t.Fatalf("dedup engaged without DedupCache\n%s", body)
+	}
+	if !strings.Contains(body, "parsimd_run_milliseconds_count 2") {
+		t.Errorf("expected both submissions to run\n%s", body)
+	}
+}
+
+// TestDedupSkipsWatchJobs: jobs that record waveforms are never deduped
+// (each needs its own recorder), even when byte-identical.
+func TestDedupSkipsWatchJobs(t *testing.T) {
+	ts := newTestServer(t, Config{CoreBudget: 2, MaxQueue: 8, DedupCache: 16})
+	req := jobRequest{Netlist: testNetlist, Engine: "sequential", Horizon: 64, Watch: []string{"q"}}
+	for i := 0; i < 2; i++ {
+		var sub jobView
+		ts.submit(t, req, &sub)
+		if v := ts.await(t, sub.ID, 10*time.Second); v.State != jobDone {
+			t.Fatalf("submission %d: state %s", i, v.State)
+		}
+		// Each run must serve its own waveform.
+		if code := ts.getJSON(t, "/v1/jobs/"+sub.ID+"/vcd", nil); code != http.StatusOK {
+			t.Fatalf("submission %d: vcd status %d", i, code)
+		}
+	}
+	if !strings.Contains(ts.metricsBody(t), "parsimd_dedup_hits_total 0") {
+		t.Fatal("watch job was deduped")
+	}
+}

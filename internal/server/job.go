@@ -50,9 +50,14 @@ type job struct {
 	faultStat bool
 	watch     []circuit.NodeID // nodes recorded for the /vcd endpoint
 	rec       *trace.Recorder  // nil unless watch nodes were requested
-	// resumeFrom names the snapshot a journal-recovered job continues
-	// from (empty = from scratch). Set only during startup recovery.
+	// resumeFrom names the snapshot the job continues from (empty = from
+	// scratch): set during startup recovery from this node's own journal,
+	// or at admission when a fleet requeue passes a dead sibling's
+	// snapshot via resume_from.
 	resumeFrom string
+	// key is the content-addressed job key when dedup is enabled (empty
+	// for watch jobs and when Config.DedupCache is 0).
+	key string
 
 	mu        sync.Mutex
 	state     jobState

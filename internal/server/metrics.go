@@ -42,6 +42,7 @@ type metrics struct {
 	failed    int64
 	cancelled int64
 	degraded  int64 // finished via the sequential fallback
+	dedupHits int64 // submissions served without a new simulation
 
 	queueWaitMS stats.Histogram // submission -> dispatch, milliseconds
 	runMS       stats.Histogram // dispatch -> finish, milliseconds
@@ -123,6 +124,14 @@ func (m *metrics) onFinish(engineName string, state jobState, wasDegraded bool, 
 	e.eventsUsed += tot.EventsUsed
 }
 
+// onDedupHit counts a submission satisfied by the dedup layer — from the
+// result cache or by coalescing onto an identical in-flight run.
+func (m *metrics) onDedupHit() {
+	m.mu.Lock()
+	m.dedupHits++
+	m.mu.Unlock()
+}
+
 // onDiscard counts a queued job thrown away during drain.
 func (m *metrics) onDiscard() {
 	m.mu.Lock()
@@ -167,6 +176,7 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "parsimd_jobs_total{state=\"cancelled\"} %d\n", m.cancelled)
 
 	counter("parsimd_jobs_degraded_total", "Jobs completed by the sequential fallback engine.", m.degraded)
+	counter("parsimd_dedup_hits_total", "Submissions served from the content-addressed dedup layer instead of re-simulated.", m.dedupHits)
 
 	gauge("parsimd_queue_depth", "Jobs waiting in the admission queue.", g.queueDepth)
 	gauge("parsimd_jobs_running", "Jobs currently executing.", g.running)

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -37,7 +38,9 @@ import (
 	"time"
 
 	"parsim"
+	"parsim/internal/checkpoint"
 	"parsim/internal/circuit"
+	"parsim/internal/cluster"
 	"parsim/internal/engine"
 	"parsim/internal/logic"
 	"parsim/internal/netlist"
@@ -75,6 +78,14 @@ type Config struct {
 	// durable jobs on checkpoint-capable engines; 0 selects the engine
 	// default (engine.DefaultCheckpointEvery).
 	CheckpointEvery int64
+	// DedupCache enables content-addressed submission dedup: identical
+	// submissions (same canonicalized netlist + result-affecting options)
+	// are served from a bounded LRU of this many finished results, and an
+	// identical submission arriving while its twin is still queued or
+	// running coalesces onto that run instead of re-simulating. Jobs with
+	// watch nodes are never deduped (their VCD state is per-job). 0 (the
+	// default) disables dedup.
+	DedupCache int
 }
 
 func (c *Config) withDefaults() {
@@ -113,7 +124,16 @@ type Server struct {
 	budget *coreBudget
 	met    *metrics
 	jobs   *jobStore
-	jnl    *journal // nil unless Config.StateDir is set
+	jnl    *journal             // nil unless Config.StateDir is set
+	dedup  *cluster.ResultCache // nil unless Config.DedupCache > 0
+
+	// dedupMu guards the two dedup indexes: inflight maps a job key to
+	// the primary (first-submitted, actually running) job for that key,
+	// waiters collects later identical submissions that will be finished
+	// with the primary's result.
+	dedupMu  sync.Mutex
+	inflight map[string]*job
+	waiters  map[string][]*job
 
 	nextID       atomic.Int64
 	runningJobs  atomic.Int64
@@ -138,6 +158,11 @@ func New(cfg Config) (*Server, error) {
 		met:          newMetrics(),
 		jobs:         newJobStore(),
 		dispatchDone: make(chan struct{}),
+	}
+	if cfg.DedupCache > 0 {
+		s.dedup = cluster.NewResultCache(cfg.DedupCache)
+		s.inflight = make(map[string]*job)
+		s.waiters = make(map[string][]*job)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -214,6 +239,14 @@ type jobRequest struct {
 	FaultMaxPasses int `json:"fault_max_passes,omitempty"`
 	// FaultStatuses includes the per-fault site/step rows in the result.
 	FaultStatuses bool `json:"fault_statuses,omitempty"`
+	// ResumeFrom names a checkpoint snapshot file on the server's
+	// filesystem to continue from instead of starting at t=0. The fleet
+	// coordinator sets it when requeueing a job off a dead node that left
+	// a snapshot behind (state dirs shared between nodes). A snapshot
+	// that is missing, corrupt or on a checkpoint-incapable engine is
+	// dropped and the job runs from scratch — resuming is an optimisation,
+	// never a correctness requirement.
+	ResumeFrom string `json:"resume_from,omitempty"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -272,7 +305,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Journal the acceptance before it becomes externally visible, so a
 	// crash after the 202 never loses the job.
 	s.logJournal(journalRecord{Type: recAccepted, Job: j.id, Seq: seq, Req: &req})
+
+	if j.key != "" && s.dedupSubmit(j) {
+		// Served without a new simulation: either finished on the spot from
+		// the result cache or coalesced onto an identical in-flight run.
+		s.jobs.add(j)
+		s.met.onSubmit()
+		s.met.onDedupHit()
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, j.view(time.Now()))
+		return
+	}
+
 	if err := s.queue.push(j); err != nil {
+		s.clearPrimary(j)
 		if errors.Is(err, errQueueFull) {
 			s.reject(w, http.StatusTooManyRequests,
 				"queue full (%d jobs); retry later", s.cfg.MaxQueue)
@@ -285,6 +331,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.met.onSubmit()
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.view(time.Now()))
+}
+
+// dedupSubmit tries to satisfy a keyed submission without simulating.
+// True: the job was finished from the result cache, or parked as a waiter
+// on an identical in-flight run (it reaches a terminal state when that
+// run does). False: no hit; the job was registered as its key's primary
+// and the caller must queue it normally.
+func (s *Server) dedupSubmit(j *job) bool {
+	if v, ok := s.dedup.Get(j.key); ok {
+		res := stripResumed(v.(*parsim.Result))
+		now := time.Now()
+		j.setRunning(now)
+		j.finish(res, nil, now, false)
+		rec := journalRecord{Type: recDone, Job: j.id}
+		if b, merr := json.Marshal(res); merr == nil {
+			rec.Result = b
+		}
+		s.logJournal(rec)
+		s.met.onFinish(j.engine, jobDone, false, 0, stats.WorkerCounters{})
+		return true
+	}
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if _, running := s.inflight[j.key]; running {
+		s.waiters[j.key] = append(s.waiters[j.key], j)
+		return true
+	}
+	s.inflight[j.key] = j
+	return false
+}
+
+// clearPrimary retracts a primary registration when the job never made it
+// into the queue.
+func (s *Server) clearPrimary(j *job) {
+	if j.key == "" || s.dedup == nil {
+		return
+	}
+	s.dedupMu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.dedupMu.Unlock()
 }
 
 // buildJob validates a submission and assembles the job record; the
@@ -384,6 +472,17 @@ func (s *Server) buildJob(req *jobRequest) (*job, int, error) {
 		watch = append(watch, n.ID)
 	}
 
+	resume := strings.TrimSpace(req.ResumeFrom)
+	if resume != "" {
+		if !engine.SupportsCheckpoint(eng.Name()) {
+			log.Printf("parsimd: resume_from ignored: engine %s does not checkpoint", eng.Name())
+			resume = ""
+		} else if _, lerr := checkpoint.Load(resume); lerr != nil {
+			log.Printf("parsimd: resume_from snapshot unusable (%v); running from scratch", lerr)
+			resume = ""
+		}
+	}
+
 	j := &job{
 		circ:       circ,
 		engine:     eng.Name(),
@@ -401,10 +500,30 @@ func (s *Server) buildJob(req *jobRequest) (*job, int, error) {
 		faultSim:   req.FaultSim,
 		faultCap:   req.FaultMaxPasses,
 		faultStat:  req.FaultStatuses,
+		resumeFrom: resume,
 		state:      jobQueued,
 	}
 	if len(watch) > 0 {
 		j.rec = trace.NewRecorderFor(watch...)
+	}
+	// Content-addressed job key, computed only when dedup is on. Watch
+	// jobs are excluded: their recorded waveform is per-job state a cached
+	// result cannot stand in for.
+	if s.dedup != nil && len(watch) == 0 {
+		j.key = cluster.KeyForSubmission(circ, &cluster.Submission{
+			Engine:         req.Engine,
+			Workers:        req.Workers,
+			Horizon:        req.Horizon,
+			Lint:           req.Lint,
+			Fallback:       req.Fallback,
+			CostSpin:       req.CostSpin,
+			Lanes:          req.Lanes,
+			LaneStride:     req.LaneStride,
+			ProbeLane:      req.ProbeLane,
+			FaultSim:       req.FaultSim,
+			FaultMaxPasses: req.FaultMaxPasses,
+			FaultStatuses:  req.FaultStatuses,
+		})
 	}
 	return j, http.StatusOK, nil
 }
@@ -509,8 +628,13 @@ func (s *Server) dispatch() {
 		admitted := !s.draining.Load() && s.budget.acquire(j.cores)
 		s.queue.removeHead()
 		if !admitted {
-			j.discard(time.Now())
+			now := time.Now()
+			j.discard(now)
 			s.met.onDiscard()
+			for _, wj := range s.takeWaiters(j) {
+				wj.discard(now)
+				s.met.onDiscard()
+			}
 			continue
 		}
 		s.running.Add(1)
@@ -569,6 +693,11 @@ func (s *Server) runJob(j *job) {
 				s.logJournal(journalRecord{Type: recCheckpointed, Job: j.id, Step: step})
 			},
 		}
+	}
+	// Resume applies with or without a local journal: journal recovery
+	// sets resumeFrom to this node's own snapshot, while a fleet requeue
+	// passes a dead sibling's snapshot through the submission body.
+	if j.resumeFrom != "" && engine.SupportsCheckpoint(j.engine) {
 		cfg.ResumeFrom = j.resumeFrom
 	}
 	rep, err := engine.Run(ctx, j.engine, j.circ.Clone(), cfg)
@@ -604,6 +733,72 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	s.met.onFinish(j.engine, state, degraded, end.Sub(start), tot)
+	s.settleDedup(j, res, err, end, serverCancelled, state)
+}
+
+// settleDedup closes out a keyed run: a successful result enters the LRU
+// so the next identical submission skips simulation, and every waiter
+// coalesced onto this run is finished with the same outcome.
+func (s *Server) settleDedup(j *job, res *parsim.Result, runErr error, end time.Time, serverCancelled bool, state jobState) {
+	if j.key == "" || s.dedup == nil {
+		return
+	}
+	// Publish the result before releasing the in-flight slot, so there is
+	// no window where an identical submission sees neither.
+	if state == jobDone && res != nil {
+		s.dedup.Put(j.key, res)
+	}
+	shared := stripResumed(res)
+	for _, wj := range s.takeWaiters(j) {
+		wj.setRunning(end)
+		wst := wj.finish(shared, runErr, end, serverCancelled)
+		if s.jnl != nil {
+			switch wst {
+			case jobDone:
+				rec := journalRecord{Type: recDone, Job: wj.id}
+				if b, merr := json.Marshal(shared); merr == nil {
+					rec.Result = b
+				}
+				s.logJournal(rec)
+			case jobCancelled:
+				// Like the primary: no terminal record, so restart re-runs it.
+			default:
+				s.logJournal(journalRecord{Type: recFailed, Job: wj.id, Error: runErr.Error()})
+			}
+		}
+		s.met.onFinish(wj.engine, wst, false, 0, stats.WorkerCounters{})
+	}
+}
+
+// stripResumed returns res as the result of a dedup hit: Resumed is
+// provenance of the producing run (it came back from a snapshot), not of
+// a submission that never simulated at all, so a served copy clears it.
+// Shallow copy — the shared Final/Stats payloads are read-only by then.
+func stripResumed(res *parsim.Result) *parsim.Result {
+	if res == nil || !res.Resumed {
+		return res
+	}
+	cp := *res
+	cp.Resumed = false
+	return &cp
+}
+
+// takeWaiters atomically releases a primary's in-flight registration and
+// claims its waiter list. A job that was never the registered primary for
+// its key (dedup off, keyless, or a recovered duplicate) takes nothing.
+func (s *Server) takeWaiters(j *job) []*job {
+	if j.key == "" || s.dedup == nil {
+		return nil
+	}
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if s.inflight[j.key] != j {
+		return nil
+	}
+	delete(s.inflight, j.key)
+	ws := s.waiters[j.key]
+	delete(s.waiters, j.key)
+	return ws
 }
 
 // resultFromReport converts an engine report to the facade Result — the

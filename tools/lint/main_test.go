@@ -245,6 +245,107 @@ func notAHandler(n int) int { return n + 1 }
 	}
 }
 
+// The cluster coordinator's handlers follow a helper-based shape: a
+// writeJSON(w, status, v) helper owns the status-then-body order, and
+// rejections set Retry-After on the header before delegating. Pin down
+// that respwrite accepts that shape — helpers with a ResponseWriter
+// parameter are analyzed too.
+func TestRespWriteFleetHelperClean(t *testing.T) {
+	src := `package p
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func reject(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, []byte(fmt.Sprintf("{%q:%q}", "error", msg)))
+}
+
+func handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reject(w, http.StatusTooManyRequests, "fleet full")
+}
+`
+	for _, d := range apply(t, src) {
+		if d.Code == "respwrite" {
+			t.Fatalf("helper-based status-then-body shape flagged: %+v", d)
+		}
+	}
+}
+
+// A proxy-style handler that relays an upstream body and only then tries
+// to forward the upstream status: the io.Copy commits an implicit 200, so
+// the later WriteHeader is dropped. This is the bug shape the cluster's
+// poll-proxy handlers must avoid.
+func TestRespWriteProxyStatusAfterCopyFlagged(t *testing.T) {
+	src := `package p
+
+import (
+	"io"
+	"net/http"
+)
+
+func proxy(w http.ResponseWriter, r *http.Request, resp *http.Response) {
+	io.Copy(w, resp.Body)
+	w.WriteHeader(resp.StatusCode) // dropped: body already relayed
+}
+`
+	diags := apply(t, src)
+	found := false
+	for _, d := range diags {
+		if d.Code == "respwrite" && strings.Contains(d.Msg, "w.WriteHeader") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("status-after-proxy-copy not flagged: %v", codes(diags))
+	}
+}
+
+// A handler that spools a relayed body into a writable file must not
+// discard the Close error — a delayed write failure would silently
+// truncate the spooled result. Mirrors the requeue path's snapshot
+// handling, where every writable close is checked.
+func TestClosecheckSpoolingHandlerFlagged(t *testing.T) {
+	src := `package p
+
+import (
+	"io"
+	"net/http"
+	"os"
+)
+
+func spool(w http.ResponseWriter, r *http.Request) {
+	f, err := os.Create("spool.json")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	io.Copy(f, r.Body)
+}
+`
+	diags := apply(t, src)
+	found := false
+	for _, d := range diags {
+		if d.Code == "closecheck" && strings.Contains(d.Msg, "defer f.Close()") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("discarded spool close not flagged: %v", codes(diags))
+	}
+}
+
 func TestCtxpollUnboundedLoopFlagged(t *testing.T) {
 	src := `package p
 
