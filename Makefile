@@ -1,8 +1,8 @@
 GO ?= go
 
 .PHONY: build test race vet lint chaos serve-test auto-test ckpt-test \
-	fleet-test check figures bench-diff bench-vector bench-vector2 \
-	bench-fault bench-auto bench-ckpt bench-fleet wide-test fuzz \
+	fleet-test jit-test check figures bench-diff bench-vector bench-vector2 \
+	bench-fault bench-auto bench-ckpt bench-fleet bench-jit wide-test fuzz \
 	fuzz-smoke clean
 
 build:
@@ -62,7 +62,15 @@ fleet-test:
 	$(GO) test -race -timeout 10m -count=1 ./internal/cluster
 	$(GO) test -race -timeout 5m -count=1 -run 'TestDedup' ./internal/server
 
-check: build vet lint test race chaos serve-test auto-test ckpt-test fleet-test
+## jit-test runs the codegen-engine suite under the race detector: the
+## per-kernel truth-table proofs (scalar, one-word and wide planes), the
+## engine's unit tests, the checked-in differential fuzz corpus replay and
+## the bit-identical resume tests.
+jit-test:
+	$(GO) test -race -timeout 5m -count=1 ./internal/codegen
+	$(GO) test -race -timeout 5m -count=1 -run 'TestResumeJIT|FuzzEngines|TestFuzzCorpusSeedsReplay' .
+
+check: build vet lint test race chaos serve-test auto-test ckpt-test fleet-test jit-test
 
 ## figures regenerates the quick machine-readable benchmark snapshot.
 figures:
@@ -81,6 +89,8 @@ bench-diff:
 	$(GO) run ./tools/benchdiff BENCH_baseline.json .bench-current.json
 	$(GO) run ./cmd/figures -fig v2 -mode real -quick -json .bench-current.json
 	$(GO) run ./tools/benchdiff -tol 0.5 -abs 0.5 BENCH_vector2.json .bench-current.json
+	$(GO) run ./cmd/figures -fig j1 -mode real -json .bench-current.json
+	$(GO) run ./tools/benchdiff -tol 0.5 -abs 0.5 BENCH_jit.json .bench-current.json
 	rm -f .bench-current.json
 
 ## bench-vector regenerates the batched-engine throughput snapshot: the
@@ -114,6 +124,12 @@ bench-auto:
 bench-ckpt:
 	$(GO) run ./cmd/figures -fig c1 -mode real -json BENCH_ckpt.json
 
+## bench-jit regenerates the codegen-engine snapshot (j1): jit vs compiled
+## wall-clock on the gate-level multiplier and the microprocessor at 1-4
+## workers; acceptance is >=1.5x over compiled at one worker on both.
+bench-jit:
+	$(GO) run ./cmd/figures -fig j1 -mode real -json BENCH_jit.json
+
 ## bench-fleet regenerates the fleet-layer snapshot (d1): job throughput
 ## of 1..3 coordinator-routed nodes via the deterministic fleet model
 ## (real ring, real spill/backpressure policy; acceptance is >= 2.2x at
@@ -126,7 +142,7 @@ bench-fleet:
 ## wide-test runs the wide-plane and fault-simulation suites under the
 ## race detector — the same leg CI's wide-lane job runs.
 wide-test:
-	$(GO) test -race -timeout 5m -count=1 -run Wide ./internal/vector ./internal/analyze ./internal/logic ./internal/server .
+	$(GO) test -race -timeout 5m -count=1 -run Wide ./internal/vector ./internal/codegen ./internal/analyze ./internal/logic ./internal/server .
 
 ## fuzz explores new inputs for the cross-engine differential harness.
 ## The checked-in corpus under testdata/fuzz/FuzzEngines already replays

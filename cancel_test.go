@@ -9,7 +9,7 @@ import (
 
 // allAlgorithms is every registered engine, exercised through the facade.
 var allAlgorithms = []Algorithm{
-	Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector,
+	Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector, JIT,
 }
 
 // cancelHorizon is far beyond what any algorithm can finish in the test

@@ -127,6 +127,29 @@ func TestResumeVectorWide(t *testing.T) {
 		Options{Algorithm: Vector, Horizon: 300, Workers: 2, Lanes: 96, LaneStride: 3, ProbeLane: 65})
 }
 
+// TestResumeJIT: the codegen engine checkpoints at its quiescent per-step
+// barrier and must resume bit-identically — finals, lane finals, VCD bytes
+// and work counters all indistinguishable from an uninterrupted run.
+func TestResumeJIT(t *testing.T) {
+	testResumeBitIdentical(t, RandomUnitCircuit(7, 80),
+		Options{Algorithm: JIT, Horizon: 300, Workers: 2, Lanes: 8})
+}
+
+// TestResumeJITScalar pins the scalar (lanes = 1) compile path, where the
+// table kinds lower through per-lane scalar kernels whose state rides in
+// the snapshot's Lanes rows rather than its bit-sliced planes.
+func TestResumeJITScalar(t *testing.T) {
+	testResumeBitIdentical(t, RandomUnitCircuit(3, 60),
+		Options{Algorithm: JIT, Horizon: 300, Workers: 3})
+}
+
+// TestResumeJITWide is the multi-word-plane variant with an off-word probe
+// lane, mirroring TestResumeVectorWide.
+func TestResumeJITWide(t *testing.T) {
+	testResumeBitIdentical(t, RandomUnitCircuit(11, 48),
+		Options{Algorithm: JIT, Horizon: 300, Workers: 2, Lanes: 96, LaneStride: 3, ProbeLane: 65})
+}
+
 // TestResumeVectorFaultSim checkpoints a multi-pass concurrent fault
 // simulation and resumes it from the last mid-pass snapshot: the stitched
 // coverage table, final values and work counters must match an

@@ -20,6 +20,12 @@
 // -probe-lane picks the lane that -watch, -vcd and the final values
 // observe.
 //
+// -alg jit selects the statically compiled engine: the levelized schedule
+// is lowered at run start into per-level fused batch loops over flat
+// struct-of-arrays planes — the fastest scalar engine on unit-delay
+// circuits, and it takes the same -lanes/-lane-stride/-probe-lane axis as
+// the vector engine.
+//
 // -faults turns the run into concurrent stuck-at fault simulation on the
 // vector engine (auto-selected when -alg is not given): lane 0 simulates
 // the good machine, every other lane injects one fault from the circuit's

@@ -440,9 +440,14 @@ func (r *Report) checkCombLoops(c *circuit.Circuit, g *graph) {
 	}
 }
 
-// levelize fills the Report's levelization fields.
+// levelize fills the Report's levelization fields. Routed through the
+// memoized schedule so an Analyze followed by a levelized-engine run pays
+// for one Kahn pass; the report owns its copy because callers may inspect
+// and mutate Report.Levels.
 func (r *Report) levelize(c *circuit.Circuit, g *graph) {
-	levels, maxLevel := levelize(g)
+	e := levelsFor(c)
+	levels, maxLevel := make([]int, len(e.levels)), e.maxLevel
+	copy(levels, e.levels)
 	r.Levels = levels
 	r.MaxLevel = maxLevel
 	if maxLevel >= 0 {

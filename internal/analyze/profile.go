@@ -156,7 +156,8 @@ func Profile(c *circuit.Circuit) *CircuitProfile {
 	}
 
 	g := buildGraph(c)
-	levels, maxLevel := levelize(g)
+	sched := levelsFor(c)
+	levels, maxLevel := sched.levels, sched.maxLevel
 	p.MaxLevel = maxLevel
 	if maxLevel >= 0 {
 		p.LevelWidths = make([]int, maxLevel+1)

@@ -1,0 +1,108 @@
+package analyze
+
+import (
+	"fmt"
+	"testing"
+
+	"parsim/internal/circuit"
+	"parsim/internal/gen"
+)
+
+// scheduleChain builds a unit-delay inverter chain with a structurally
+// unique tail width, so each test gets a circuit no other test has pushed
+// into the process-wide schedule cache.
+func scheduleChain(t *testing.T, n int) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder(fmt.Sprintf("sched-chain-%d", n))
+	clk := b.Bit("clk")
+	b.Clock("osc", clk, 4, 0, 0)
+	prev := clk
+	for i := 0; i < n; i++ {
+		nd := b.Bit(fmt.Sprintf("n%d", i))
+		b.Gate(circuit.KindNot, fmt.Sprintf("inv%d", i), 1, nd, prev)
+		prev = nd
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return c
+}
+
+// TestLevelScheduleMemoized pins the one-levelization-per-circuit
+// guarantee: repeated LevelSchedule calls, the profiler, the full analyzer
+// and a structural clone all share a single Kahn pass through the digest
+// cache.
+func TestLevelScheduleMemoized(t *testing.T) {
+	c := scheduleChain(t, 61)
+	before := levelizeRuns.Load()
+	first := LevelSchedule(c)
+	second := LevelSchedule(c)
+	Profile(c)
+	Analyze(c, Options{})
+	clone := c.Clone()
+	third := LevelSchedule(clone)
+	if got := levelizeRuns.Load() - before; got != 1 {
+		t.Fatalf("levelize ran %d times across LevelSchedule x2, Profile, Analyze and a clone; want 1", got)
+	}
+	for i := range first {
+		if first[i] != second[i] || first[i] != third[i] {
+			t.Fatalf("cached levels diverge at element %d: %d / %d / %d", i, first[i], second[i], third[i])
+		}
+	}
+	// A structurally different circuit must miss.
+	d := scheduleChain(t, 62)
+	LevelSchedule(d)
+	if got := levelizeRuns.Load() - before; got != 2 {
+		t.Fatalf("distinct circuit should re-levelize (got %d runs, want 2)", got)
+	}
+}
+
+// TestLevelScheduleReturnsCopy: mutating a returned schedule must not
+// poison the cache for the next caller.
+func TestLevelScheduleReturnsCopy(t *testing.T) {
+	c := scheduleChain(t, 63)
+	a := LevelSchedule(c)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	a[0] = -99
+	b := LevelSchedule(c)
+	if b[0] == -99 {
+		t.Fatal("cache returned the caller-mutated slice")
+	}
+}
+
+// TestLevelScheduleCacheBounded: pushing more than schedCacheCap distinct
+// circuits through the cache must evict rather than grow without limit.
+func TestLevelScheduleCacheBounded(t *testing.T) {
+	for i := 0; i < schedCacheCap+8; i++ {
+		LevelSchedule(scheduleChain(t, 100+i))
+	}
+	schedCache.Lock()
+	n, f := len(schedCache.byKey), len(schedCache.fifo)
+	schedCache.Unlock()
+	if n > schedCacheCap || f > schedCacheCap {
+		t.Fatalf("cache grew to %d entries / %d fifo slots, cap %d", n, f, schedCacheCap)
+	}
+	if n != f {
+		t.Fatalf("cache map (%d) and fifo (%d) out of sync", n, f)
+	}
+}
+
+// TestLevelScheduleMatchesReport: the memoized schedule and the analyzer
+// report agree on a real generator circuit, including -1 for elements the
+// report leaves unlevelized.
+func TestLevelScheduleMatchesReport(t *testing.T) {
+	c := gen.CPU(gen.DefaultCPU())
+	levels := LevelSchedule(c)
+	rep := Analyze(c, Options{})
+	if len(levels) != len(rep.Levels) {
+		t.Fatalf("schedule has %d levels, report %d", len(levels), len(rep.Levels))
+	}
+	for i := range levels {
+		if levels[i] != rep.Levels[i] {
+			t.Fatalf("element %d: schedule level %d, report %d", i, levels[i], rep.Levels[i])
+		}
+	}
+}

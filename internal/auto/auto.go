@@ -8,8 +8,10 @@
 //
 // Config.Workers acts as a budget: the winner may run fewer workers than
 // the budget (a feedback-dominated circuit is fastest on one worker), never
-// more. Config.Lanes > 1 forces the vector engine — it is the only engine
-// that produces LaneFinal, so a batched job has no choice to make.
+// more. Config.Lanes > 1 forces the vector engine: of the two engines that
+// produce LaneFinal (vector and jit) it is the one whose bit-sliced
+// functional kernels are tuned for wide batches, and a forced winner keeps
+// batched selection deterministic.
 // Fault simulation never reaches this package: RunEngine rejects
 // Config.FaultSim for any engine not named "vector".
 package auto

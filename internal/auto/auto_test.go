@@ -10,6 +10,7 @@ import (
 	"parsim/internal/seq"
 
 	// The candidates the selector must be able to hand a run to.
+	_ "parsim/internal/codegen"
 	_ "parsim/internal/compiled"
 	_ "parsim/internal/core"
 	_ "parsim/internal/dist"
@@ -34,7 +35,7 @@ func TestRegistry(t *testing.T) {
 
 // TestChooseInverterArray pins the selection on the paper's flagship
 // circuit: the asynchronous engine at the full budget, with the complete
-// eight-engine ranking recorded on the selection.
+// nine-engine ranking recorded on the selection.
 func TestChooseInverterArray(t *testing.T) {
 	c := gen.InverterArray(gen.DefaultInverterArray())
 	sel, icfg := Choose(c, engine.Config{Workers: 4, Horizon: 96, CostSpin: 300})
@@ -44,8 +45,8 @@ func TestChooseInverterArray(t *testing.T) {
 	if icfg.Workers < 1 || icfg.Workers > 4 {
 		t.Errorf("inner config workers %d outside budget", icfg.Workers)
 	}
-	if len(sel.Ranking) != 8 {
-		t.Errorf("ranking has %d entries, want 8", len(sel.Ranking))
+	if len(sel.Ranking) != 9 {
+		t.Errorf("ranking has %d entries, want 9", len(sel.Ranking))
 	}
 	if sel.Profile == nil || sel.Profile.Elements == 0 {
 		t.Error("selection carries no profile")

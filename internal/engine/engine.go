@@ -235,6 +235,7 @@ var checkpointable = map[string]bool{
 	"sequential": true,
 	"compiled":   true,
 	"vector":     true,
+	"jit":        true,
 }
 
 // SupportsCheckpoint reports whether the named engine (or alias) can

@@ -147,8 +147,12 @@ func Generate(id string, cfg Config) (*Figure, error) {
 		// Real-only: checkpointing overhead on the paper circuits (`make
 		// bench-ckpt` writes BENCH_ckpt.json).
 		return c1(cfg), nil
+	case "j1":
+		// Real-only: codegen-vs-compiled throughput behind BENCH_jit.json
+		// (`make bench-jit`).
+		return j1(cfg), nil
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1, v2, f1, a1, c1)", id, strings.Join(IDs(), ", "))
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %s, v1, v2, f1, a1, c1, j1)", id, strings.Join(IDs(), ", "))
 }
 
 // procSweep returns the processor counts for curves: 1..8 then evens.

@@ -11,8 +11,8 @@ import (
 func allEngines() map[string]bool {
 	return map[string]bool{
 		"sequential": true, "event-driven": true, "compiled": true,
-		"vector": true, "asynchronous": true, "chandy-misra": true,
-		"time-warp": true, "distributed-async": true,
+		"vector": true, "jit": true, "asynchronous": true,
+		"chandy-misra": true, "time-warp": true, "distributed-async": true,
 	}
 }
 
@@ -94,7 +94,7 @@ func TestPredictNonUnitDelayGatesCompiled(t *testing.T) {
 	preds := Predict(p, PredictOptions{MaxWorkers: 4})
 	seen := 0
 	for _, pr := range preds {
-		if pr.Engine == "compiled" || pr.Engine == "vector" {
+		if pr.Engine == "compiled" || pr.Engine == "vector" || pr.Engine == "jit" {
 			seen++
 			if pr.Eligible {
 				t.Errorf("%q eligible on a non-unit-delay circuit", pr.Engine)
@@ -104,8 +104,8 @@ func TestPredictNonUnitDelayGatesCompiled(t *testing.T) {
 			}
 		}
 	}
-	if seen != 2 {
-		t.Fatalf("compiled/vector predictions missing (%d found)", seen)
+	if seen != 3 {
+		t.Fatalf("compiled/vector/jit predictions missing (%d found)", seen)
 	}
 }
 

@@ -451,11 +451,12 @@ func (s *Server) buildJob(req *jobRequest) (*job, int, error) {
 		}
 		return fail(http.StatusBadRequest, "netlist: %v", err)
 	}
-	// Lane-width-aware admission: a vector job's state footprint scales
+	// Lane-width-aware admission: a batched job's state footprint scales
 	// with nodes x plane words, so a wide-lane job must fit the same node
-	// budget a 64-lane job is held to. Scalar engines ignore lanes and
-	// carry one machine word per node either way.
-	if eng.Name() == "vector" {
+	// budget a 64-lane job is held to. The vector and jit engines both
+	// carry per-lane planes; scalar engines ignore lanes and carry one
+	// machine word per node either way.
+	if eng.Name() == "vector" || eng.Name() == "jit" {
 		if words := logic.PlaneWords(lanes); len(circ.Nodes)*words > s.cfg.MaxNodes {
 			return fail(http.StatusRequestEntityTooLarge,
 				"circuit nodes (%d) x plane words (%d) exceeds the node budget %d; lower lanes or shrink the netlist",

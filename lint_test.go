@@ -42,7 +42,7 @@ func buildZeroDelayRing(t *testing.T) *Circuit {
 // already enough; LintStrict must refuse too.
 func TestLintRefusesZeroDelayRingAllEngines(t *testing.T) {
 	algos := []Algorithm{
-		Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector,
+		Sequential, EventDriven, Compiled, Async, DistAsync, TimeWarp, ChandyMisra, Vector, JIT,
 	}
 	// The registry additionally carries "auto" (engine selection), which has
 	// no Algorithm constant; its lint refusal is covered below via

@@ -60,6 +60,7 @@ import (
 	// internal/engine from init; these imports populate the registry that
 	// Simulate dispatches through.
 	_ "parsim/internal/auto"
+	_ "parsim/internal/codegen"
 	_ "parsim/internal/core"
 	_ "parsim/internal/dist"
 	_ "parsim/internal/parevent"
@@ -229,6 +230,16 @@ const (
 	// batch, and Options.FaultSim turns the lane axis into a concurrent
 	// stuck-at fault simulator.
 	Vector
+	// JIT is the statically compiled ("codegen") algorithm: the circuit's
+	// levelized schedule is lowered once, at run start, into per-level
+	// batches of branch-free word kernels over a struct-of-arrays state
+	// layout — fused 1/2-input gate loops with no per-element dispatch,
+	// devirtualized plane-op kernels for everything else — executed with
+	// one barrier per level across the workers. Semantically it is the
+	// Compiled algorithm (unit-delay, every element every step) run
+	// through a compiler instead of an interpreter; Options.Lanes widens
+	// it to N stimulus lanes exactly as Vector (default 1).
+	JIT
 )
 
 // String returns the algorithm name.
@@ -250,6 +261,8 @@ func (a Algorithm) String() string {
 		return "chandy-misra"
 	case Vector:
 		return "vector"
+	case JIT:
+		return "jit"
 	}
 	return "unknown"
 }
@@ -286,9 +299,10 @@ type Options struct {
 	// optimisation: events behind a pinned AND/NAND/OR/NOR input are
 	// consumed without evaluating the gate model.
 	GateLookahead bool
-	// Lanes is the number of independent stimulus vectors a Vector run
-	// simulates at once (1..MaxLanes; 0 defaults to 64, one machine word —
-	// larger counts widen every node plane to ceil(Lanes/64) words).
+	// Lanes is the number of independent stimulus vectors a Vector or JIT
+	// run simulates at once (1..MaxLanes; 0 defaults to 64 for Vector and
+	// 1 for JIT — larger counts widen every node plane to ceil(Lanes/64)
+	// words).
 	// LaneStride offsets rand/gray generator seeds per lane (lane k runs
 	// with Seed + k*LaneStride; 0 defaults to 1), and ProbeLane selects
 	// which lane feeds Probe and Result.Final (default 0, the lane whose
@@ -332,7 +346,8 @@ type Options struct {
 	// Checkpoint names a snapshot file the run rewrites atomically every
 	// CheckpointEvery time steps (0 defaults to 256), at the quiescent
 	// per-step barrier. Only the synchronous algorithms (Sequential,
-	// Compiled, Vector — including FaultSim) support checkpointing.
+	// Compiled, Vector — including FaultSim — and JIT) support
+	// checkpointing.
 	Checkpoint      string
 	CheckpointEvery int64
 	// ResumeFrom names a snapshot to continue from instead of starting at
@@ -353,8 +368,8 @@ type Result struct {
 	// Final holds each node's value at the horizon, indexed by NodeID.
 	// For a Vector run this is lane ProbeLane's view.
 	Final []Value
-	// LaneFinal holds every lane's final node values (Vector only):
-	// LaneFinal[k][n] is node n at the horizon as stimulus lane k saw it.
+	// LaneFinal holds every lane's final node values (Vector and JIT
+	// only): LaneFinal[k][n] is node n at the horizon as lane k saw it.
 	LaneFinal [][]Value
 	// FaultCoverage reports concurrent fault-simulation results
 	// (Vector with Options.FaultSim only).
